@@ -1,0 +1,32 @@
+"""Fig. 12 reproduction: runtime of the eight PASTIS variants
+(SW/XD x s0/s25 x +/-CK) on Metaclust50-0.5M and -1M, 1-256 Haswell nodes.
+
+Expected shapes (all asserted): XD < SW; CK < non-CK; s25 > s0; near-linear
+scaling with node count; magnitudes inside the paper's axis range
+(~8..8081 s).
+"""
+
+import pytest
+
+from conftest import print_series_table
+from repro.perfmodel import COMPARISON_NODES, fig12_variants
+
+
+@pytest.mark.parametrize("dataset", ["0.5M", "1M"])
+def test_fig12_variants(benchmark, dataset):
+    series = benchmark(fig12_variants, dataset)
+    print_series_table(
+        f"Fig. 12 — PASTIS variants, Metaclust50-{dataset} "
+        "(modelled seconds)",
+        COMPARISON_NODES,
+        series,
+    )
+    # shape assertions mirroring the paper
+    for s in (0, 25):
+        for ck in ("", "-CK"):
+            xd = series[f"PASTIS-XD-s{s}{ck}"]
+            sw = series[f"PASTIS-SW-s{s}{ck}"]
+            assert all(a < b for a, b in zip(xd, sw))
+    for name, vals in series.items():
+        assert all(a > b for a, b in zip(vals, vals[1:])), name
+    assert series["PASTIS-XD-s25"][1] > series["PASTIS-XD-s0"][1]

@@ -1,0 +1,34 @@
+"""Fig. 13 reproduction: fastest PASTIS variant vs MMseqs2 (three
+sensitivities) vs LAST, Metaclust50-0.5M and -1M, 1-256 Haswell nodes.
+
+Expected shapes (asserted): MMseqs2 is faster at small node counts; PASTIS
+overtakes by <= 64 nodes thanks to its better scalability; MMseqs2 plateaus
+(serial post-processing); LAST runs on a single node and beats the MMseqs2
+variants there.
+"""
+
+import math
+
+import pytest
+
+from conftest import print_series_table
+from repro.perfmodel import COMPARISON_NODES, fig13_tools
+
+
+@pytest.mark.parametrize("dataset", ["0.5M", "1M"])
+def test_fig13_tools(benchmark, dataset):
+    series = benchmark(fig13_tools, dataset)
+    print_series_table(
+        f"Fig. 13 — PASTIS vs MMseqs2 vs LAST, Metaclust50-{dataset} "
+        "(modelled seconds)",
+        COMPARISON_NODES,
+        series,
+    )
+    pastis = series["PASTIS-XD-s0-CK"]
+    mm = series["MMseqs2-default"]
+    assert mm[0] < pastis[0], "MMseqs2 wins on one node"
+    cross = [n for n, a, b in zip(COMPARISON_NODES, pastis, mm) if a < b]
+    assert cross and min(cross) <= 64, "PASTIS overtakes by 64 nodes"
+    assert mm[-1] > 0.75 * mm[-2], "MMseqs2 plateaus"
+    assert series["LAST"][0] < series["MMseqs2-low"][0]
+    assert math.isnan(series["LAST"][1])

@@ -1,0 +1,50 @@
+"""Fig. 14 reproduction: strong scaling (Metaclust50-2.5M, s in
+{0,10,25,50}, 64-2025 KNL nodes) and weak scaling (1.25M@64, 2.5M@256,
+5M@1024), matrix stages only (alignment excluded, as in the paper).
+
+Expected shapes (asserted): strong-scaling curves monotone decreasing and
+ordered by s; weak-scaling lines have a *negative* slope because sequences
+double while nodes quadruple and only part of the work grows quadratically
+— exactly the paper's explanation.
+"""
+
+from conftest import print_series_table
+from repro.perfmodel import (
+    SCALING_NODES,
+    fig14_strong_scaling,
+    fig14_weak_scaling,
+    parallel_efficiency,
+)
+
+
+def test_fig14_strong_scaling(benchmark):
+    series = benchmark(fig14_strong_scaling)
+    named = {f"s={s}": v for s, v in series.items()}
+    print_series_table(
+        "Fig. 14 (left) — strong scaling, Metaclust50-2.5M, KNL "
+        "(modelled seconds, alignment excluded)",
+        SCALING_NODES,
+        named,
+    )
+    eff = parallel_efficiency(series[0], SCALING_NODES)
+    print("parallel efficiency s=0:",
+          [f"{e:.2f}" for e in eff])
+    for s, vals in series.items():
+        assert all(a > b for a, b in zip(vals, vals[1:])), s
+    for i in range(len(SCALING_NODES)):
+        col = [series[s][i] for s in (0, 10, 25, 50)]
+        assert col == sorted(col)
+
+
+def test_fig14_weak_scaling(benchmark):
+    series = benchmark(fig14_weak_scaling)
+    named = {f"s={s}": v for s, v in series.items()}
+    print_series_table(
+        "Fig. 14 (right) — weak scaling (1.25M@64, 2.5M@256, 5M@1024)",
+        [64, 256, 1024],
+        named,
+    )
+    for s, vals in series.items():
+        assert all(a >= b for a, b in zip(vals, vals[1:])), (
+            f"s={s}: weak-scaling slope must be negative at 4x node steps"
+        )

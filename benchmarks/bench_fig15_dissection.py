@@ -1,0 +1,33 @@
+"""Fig. 15 reproduction: percentage of time per pipeline component (fasta,
+form A, tr. A, form S, AS, (AS)AT, sym., wait) against node count, for
+s in {0, 10, 25, 50}, Metaclust50-2.5M on KNL.
+
+Expected shapes (asserted): the sequence-exchange "wait" is considerable at
+small node counts and less pronounced when substitute k-mers add compute;
+SpGEMM dominates and its share *grows* with node count (it is the least
+scalable component); form S is a visible slice for s > 0.
+"""
+
+from repro.perfmodel import SCALING_NODES, fig15_dissection
+
+
+def test_fig15_dissection(benchmark):
+    diss = benchmark(fig15_dissection, "2.5M")
+    for s, by_nodes in diss.items():
+        print(f"\n=== Fig. 15 — component % (s={s}) ===")
+        comps = list(next(iter(by_nodes.values())).keys())
+        print("nodes".ljust(8) + "".join(f"{c:>10}" for c in comps))
+        for p in SCALING_NODES:
+            row = f"{p:<8}" + "".join(
+                f"{by_nodes[p][c]:>10.1f}" for c in comps
+            )
+            print(row)
+    assert diss[0][64]["wait"] > 15
+    assert diss[0][2025]["wait"] < diss[0][64]["wait"]
+    assert diss[25][64]["wait"] < diss[0][64]["wait"]
+    assert diss[0][2025]["(AS)AT"] > diss[0][64]["(AS)AT"]
+    for s in (10, 25, 50):
+        assert diss[s][64]["form S"] > 5
+    for s, by_nodes in diss.items():
+        for p, comps_ in by_nodes.items():
+            assert abs(sum(comps_.values()) - 100.0) < 1e-6

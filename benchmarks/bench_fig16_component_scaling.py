@@ -1,0 +1,31 @@
+"""Fig. 16 reproduction: absolute per-component runtimes against node count
+for s=0 (top) and s=25 (bottom), Metaclust50-2.5M on KNL.
+
+Expected shapes (asserted): every component decreases with node count; the
+SpGEMM ((AS)AT) improves by the *smallest* factor among the major
+components — "the bottleneck for scalability seems to be the SpGEMM
+operations"; short components (fasta, tr. A) scale almost ideally.
+"""
+
+import pytest
+
+from conftest import print_series_table
+from repro.perfmodel import SCALING_NODES, fig16_component_scaling
+
+
+@pytest.mark.parametrize("subs", [0, 25])
+def test_fig16_component_scaling(benchmark, subs):
+    series = benchmark(fig16_component_scaling, "2.5M", substitutes=subs)
+    print_series_table(
+        f"Fig. 16 — component seconds vs nodes (s={subs})",
+        SCALING_NODES,
+        series,
+    )
+    for name, vals in series.items():
+        assert all(a >= b for a, b in zip(vals, vals[1:])), name
+    spgemm_ratio = series["(AS)AT"][0] / series["(AS)AT"][-1]
+    for other in ("fasta", "form A", "wait"):
+        other_ratio = series[other][0] / max(series[other][-1], 1e-12)
+        assert spgemm_ratio <= other_ratio + 1e-9, (
+            f"SpGEMM must scale no better than {other}"
+        )

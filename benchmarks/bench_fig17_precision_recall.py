@@ -1,0 +1,96 @@
+"""Fig. 17 reproduction: weighted precision/recall of PASTIS (SW/XD, ANI/NS,
++/-CK, several substitute counts), MMseqs2-like (three sensitivities), and
+LAST-like (three max-initial-match settings), each clustered with Markov
+Clustering against ground-truth families.
+
+This is a *functional* benchmark: the real pipeline runs on the synthetic
+SCOPe stand-in (the curated SCOPe data is not redistributable), so absolute
+values differ from the paper while the relationships are asserted:
+
+* more substitute k-mers -> higher recall (the knob the paper introduces);
+* NS weighting remains viable vs ANI;
+* all tools land in a comparable quality band.
+"""
+
+import pytest
+
+from conftest import print_pr_table
+from repro.baselines.last import LastConfig, last_search
+from repro.baselines.mmseqs import MMseqsConfig, mmseqs_search
+from repro.cluster.mcl import markov_clustering
+from repro.cluster.metrics import weighted_precision_recall
+from repro.core.config import PastisConfig
+from repro.core.pipeline import pastis_pipeline
+
+SUBSTITUTES = (0, 4, 8)
+
+
+def _evaluate(graph, labels):
+    mcl = markov_clustering(graph)
+    return weighted_precision_recall(mcl.labels, labels)
+
+
+@pytest.fixture(scope="module")
+def fig17_rows(scope_dataset):
+    data = scope_dataset
+    rows = []
+    recalls_by_s = {}
+    for mode in ("sw", "xd"):
+        for weight in ("ani", "ns"):
+            for s in SUBSTITUTES:
+                cfg = PastisConfig(
+                    k=4, substitutes=s, align_mode=mode, weight=weight
+                )
+                g = pastis_pipeline(data.store, cfg)
+                pr = _evaluate(g, data.labels)
+                name = f"PASTIS-{mode.upper()}-{weight.upper()}-s{s}"
+                rows.append((name, pr.precision, pr.recall))
+                if mode == "xd" and weight == "ani":
+                    recalls_by_s[s] = pr.recall
+    # CK variant
+    cfg = PastisConfig(k=4, substitutes=8, align_mode="xd",
+                       common_kmer_threshold=1)
+    pr = _evaluate(pastis_pipeline(data.store, cfg), data.labels)
+    rows.append(("PASTIS-XD-ANI-s8-CK", pr.precision, pr.recall))
+    for sens in (1.0, 5.7, 7.5):
+        g = mmseqs_search(data.store, MMseqsConfig(k=4, sensitivity=sens))
+        pr = _evaluate(g, data.labels)
+        rows.append((f"MMseqs2-ANI (s={sens})", pr.precision, pr.recall))
+    for mm in (50, 100, 300):
+        g = last_search(
+            data.store, LastConfig(max_initial_matches=mm, min_seed_length=4)
+        )
+        pr = _evaluate(g, data.labels)
+        rows.append((f"LAST-ANI (m={mm})", pr.precision, pr.recall))
+    return rows, recalls_by_s
+
+
+def test_fig17_precision_recall(benchmark, fig17_rows, scope_dataset):
+    rows, recalls_by_s = fig17_rows
+    print_pr_table(
+        "Fig. 17 — weighted precision/recall after MCL "
+        "(synthetic SCOPe stand-in)",
+        rows,
+    )
+
+    # benchmark one representative pipeline+clustering run
+    def one_run():
+        cfg = PastisConfig(k=4, substitutes=4, align_mode="xd")
+        g = pastis_pipeline(scope_dataset.store, cfg)
+        return markov_clustering(g).n_clusters
+
+    benchmark(one_run)
+
+    # substitute k-mers raise recall (monotone over the sweep)
+    rs = [recalls_by_s[s] for s in SUBSTITUTES]
+    assert rs == sorted(rs), f"recall must grow with s: {rs}"
+    # every scheme produces sensible quality on this easy-to-moderate data
+    for name, p, r in rows:
+        assert p > 0.3, name
+        assert r > 0.15, name
+    # NS stays viable: within a reasonable band of its ANI counterpart
+    by_name = {n: (p, r) for n, p, r in rows}
+    for mode in ("SW", "XD"):
+        ani = by_name[f"PASTIS-{mode}-ANI-s8"]
+        ns = by_name[f"PASTIS-{mode}-NS-s8"]
+        assert ns[1] >= 0.5 * ani[1]

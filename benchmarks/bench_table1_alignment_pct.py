@@ -1,0 +1,50 @@
+"""Table I reproduction: percentage of total PASTIS time spent in pairwise
+alignment, per variant and node count, Metaclust50-0.5M and -1M.
+
+Paper values for reference (0.5M):
+  PASTIS-SW-s0      49 83 89 91 81
+  PASTIS-XD-s0       7 54 55 55 52
+  PASTIS-XD-s25-CK   - 17 11  6  7
+
+Expected shapes (asserted): SW > XD (SW is the more expensive aligner); CK
+variants < their non-CK counterparts; percentages grow (weakly) with the
+dataset size because alignments scale quadratically while parts of the
+matrix work scale linearly.
+"""
+
+import pytest
+
+from conftest import print_series_table
+from repro.perfmodel import COMPARISON_NODES, table1_alignment_pct
+
+
+@pytest.mark.parametrize("dataset", ["0.5M", "1M"])
+def test_table1_alignment_percentage(benchmark, dataset):
+    pct = benchmark(table1_alignment_pct, dataset)
+    print_series_table(
+        f"Table I — alignment time % of total, Metaclust50-{dataset}",
+        COMPARISON_NODES,
+        pct,
+    )
+    for s in (0, 25):
+        sw = pct[f"PASTIS-SW-s{s}"]
+        xd = pct[f"PASTIS-XD-s{s}"]
+        assert all(a > b for a, b in zip(sw, xd))
+        assert all(
+            c < b
+            for c, b in zip(pct[f"PASTIS-SW-s{s}-CK"], pct[f"PASTIS-SW-s{s}"])
+        )
+    for vals in pct.values():
+        assert all(0 <= v <= 100 for v in vals)
+
+
+def test_table1_grows_with_dataset(benchmark):
+    def both():
+        return (
+            table1_alignment_pct("0.5M"),
+            table1_alignment_pct("1M"),
+        )
+
+    p05, p1 = benchmark(both)
+    # alignment share increases from 0.5M to 1M sequences
+    assert p1["PASTIS-SW-s0"][2] >= p05["PASTIS-SW-s0"][2]

@@ -1,0 +1,82 @@
+"""Table II reproduction: connected components of the similarity graph used
+directly as protein families (no clustering), for PASTIS-SW / PASTIS-XD
+with several substitute counts, MMseqs2-like sensitivities, and LAST-like
+max-initial-match settings.
+
+Expected shapes (asserted, matching the paper's Table II):
+
+* PASTIS recall *rises* with the number of substitute k-mers;
+* PASTIS precision *falls* with it (components coalesce) — "clustering is
+  indispensable when substitute k-mers are used";
+* exact-k-mer PASTIS remains a viable no-clustering option.
+"""
+
+import pytest
+
+from conftest import print_pr_table
+from repro.baselines.last import LastConfig, last_search
+from repro.baselines.mmseqs import MMseqsConfig, mmseqs_search
+from repro.cluster.components import connected_components
+from repro.cluster.metrics import weighted_precision_recall
+from repro.core.config import PastisConfig
+from repro.core.pipeline import pastis_pipeline
+
+SUBSTITUTES = (0, 4, 8)
+
+
+def _cc_eval(graph, labels):
+    cc, _ = connected_components(graph)
+    return weighted_precision_recall(cc, labels)
+
+
+@pytest.fixture(scope="module")
+def table2_rows(scope_dataset):
+    data = scope_dataset
+    rows = []
+    by_mode_s = {}
+    for mode in ("sw", "xd"):
+        for s in SUBSTITUTES:
+            cfg = PastisConfig(k=4, substitutes=s, align_mode=mode)
+            g = pastis_pipeline(data.store, cfg)
+            pr = _cc_eval(g, data.labels)
+            rows.append(
+                (f"PASTIS-{mode.upper()} s={s}", pr.precision, pr.recall)
+            )
+            by_mode_s[(mode, s)] = pr
+    for sens in (1.0, 5.7, 7.5):
+        g = mmseqs_search(data.store, MMseqsConfig(k=4, sensitivity=sens))
+        pr = _cc_eval(g, data.labels)
+        rows.append((f"MMseqs2 sens={sens}", pr.precision, pr.recall))
+    for mm in (50, 100, 300):
+        g = last_search(
+            data.store, LastConfig(max_initial_matches=mm, min_seed_length=4)
+        )
+        pr = _cc_eval(g, data.labels)
+        rows.append((f"LAST m={mm}", pr.precision, pr.recall))
+    return rows, by_mode_s
+
+
+def test_table2_connected_components(benchmark, table2_rows, scope_dataset):
+    rows, by_mode_s = table2_rows
+    print_pr_table(
+        "Table II — connected components as protein families "
+        "(synthetic SCOPe stand-in)",
+        rows,
+    )
+
+    def one_run():
+        cfg = PastisConfig(k=4, substitutes=4)
+        g = pastis_pipeline(scope_dataset.store, cfg)
+        return connected_components(g)[1]
+
+    benchmark(one_run)
+
+    for mode in ("sw", "xd"):
+        recalls = [by_mode_s[(mode, s)].recall for s in SUBSTITUTES]
+        precisions = [by_mode_s[(mode, s)].precision for s in SUBSTITUTES]
+        assert recalls == sorted(recalls), (mode, recalls)
+        assert precisions == sorted(precisions, reverse=True), (
+            mode, precisions,
+        )
+    # exact k-mers without clustering stay precise
+    assert by_mode_s[("xd", 0)].precision > 0.8

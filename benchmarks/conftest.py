@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+rows it produces (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them); EXPERIMENTS.md snapshots the output and compares shapes against the
+paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+
+def print_series_table(title: str, nodes, series: dict) -> None:
+    """Print a runtime table: one row per variant, one column per node
+    count."""
+    print(f"\n=== {title} ===")
+    header = "variant".ljust(24) + "".join(f"{n:>10}" for n in nodes)
+    print(header)
+    for name, vals in series.items():
+        row = name.ljust(24)
+        for v in vals:
+            row += f"{v:>10.1f}" if not math.isnan(v) else f"{'-':>10}"
+        print(row)
+
+
+def print_pr_table(title: str, rows: list[tuple[str, float, float]]) -> None:
+    """Print precision/recall rows."""
+    print(f"\n=== {title} ===")
+    print(f"{'scheme':<28}{'precision':>12}{'recall':>10}")
+    for name, p, r in rows:
+        print(f"{name:<28}{p:>12.3f}{r:>10.3f}")
+
+
+@pytest.fixture(scope="session")
+def scope_dataset():
+    """The synthetic SCOPe stand-in shared by the accuracy benchmarks.
+
+    Families are grouped three-per-super-family (SCOPe's hierarchy): members
+    of sibling families resemble each other without belonging together, so
+    false-positive links are possible and the precision/recall trade-off of
+    Fig. 17 / Table II is observable."""
+    from repro.bio.generate import scope_like
+
+    return scope_like(
+        n_families=9,
+        members_per_family=(4, 6),
+        length_range=(60, 110),
+        divergence=0.45,
+        indel_rate=0.02,
+        seed=101,
+        families_per_superfamily=3,
+        superfamily_divergence=0.35,
+    )

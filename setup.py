@@ -1,0 +1,7 @@
+"""Setuptools shim for environments without the `wheel` package, where the
+PEP 517 editable path is unavailable (offline clusters).  Configuration
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

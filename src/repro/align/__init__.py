@@ -1,0 +1,26 @@
+"""Alignment substrate (SeqAn stand-in): Smith-Waterman with affine gaps,
+gapped x-drop seed-and-extend, ungapped diagonal extension, and the batch
+driver."""
+
+from .batch import AlignmentTask, align_batch, align_pair
+from .smith_waterman import smith_waterman, sw_reference, sw_score_only
+from .stats import AlignmentResult, normalized_score, passes_filter
+from .ungapped import ungapped_align, ungapped_extend
+from .xdrop import ExtensionResult, xdrop_align, xdrop_extend
+
+__all__ = [
+    "AlignmentTask",
+    "align_batch",
+    "align_pair",
+    "smith_waterman",
+    "sw_reference",
+    "sw_score_only",
+    "AlignmentResult",
+    "normalized_score",
+    "passes_filter",
+    "ungapped_align",
+    "ungapped_extend",
+    "ExtensionResult",
+    "xdrop_align",
+    "xdrop_extend",
+]

@@ -1,0 +1,100 @@
+"""Batch alignment driver.
+
+PASTIS prepares batches of pairwise alignments for SeqAn and lets OpenMP
+threads work through them (Section V).  Each alignment is independent, so
+this driver distributes a list of ``(pair, seeds)`` tasks over a thread
+pool; the per-pair aligner is selected by mode.
+
+For XD mode PASTIS stores up to two shared seeds per pair and aligns from
+each of them, keeping the best-scoring result (Section IV-E); SW ignores the
+seed and aligns the full pair once.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..bio.scoring import BLOSUM62, ScoringMatrix
+from .smith_waterman import smith_waterman
+from .stats import AlignmentResult
+from .xdrop import xdrop_align
+
+__all__ = ["AlignmentTask", "align_pair", "align_batch"]
+
+
+@dataclass(frozen=True)
+class AlignmentTask:
+    """One candidate pair: encoded sequences plus up to two seed positions
+    ``(pos_in_a, pos_in_b)`` discovered by the overlap stage."""
+
+    a: np.ndarray
+    b: np.ndarray
+    seeds: tuple[tuple[int, int], ...]
+    pair: tuple[int, int] = (-1, -1)  # (global id a, global id b)
+
+
+def align_pair(
+    task: AlignmentTask,
+    mode: str,
+    k: int,
+    scoring: ScoringMatrix = BLOSUM62,
+    gap_open: int = 11,
+    gap_extend: int = 1,
+    xdrop: int = 49,
+    traceback: bool = True,
+) -> AlignmentResult:
+    """Align one candidate pair.
+
+    * ``mode="xd"``: seed-and-extend from each stored seed (at most two),
+      keeping the best score;
+    * ``mode="sw"``: full Smith-Waterman, seeds ignored.
+    """
+    if mode == "sw":
+        return smith_waterman(
+            task.a, task.b, scoring, gap_open, gap_extend, traceback
+        )
+    if mode == "xd":
+        if not task.seeds:
+            raise ValueError("XD mode requires at least one seed")
+        best: AlignmentResult | None = None
+        for sa, sb in task.seeds[:2]:
+            sa = min(max(int(sa), 0), len(task.a) - k)
+            sb = min(max(int(sb), 0), len(task.b) - k)
+            res = xdrop_align(
+                task.a, task.b, sa, sb, k, xdrop, scoring, gap_open,
+                gap_extend,
+            )
+            if best is None or res.score > best.score:
+                best = res
+        assert best is not None
+        return best
+    raise ValueError(f"unknown alignment mode {mode!r}")
+
+
+def align_batch(
+    tasks: Sequence[AlignmentTask],
+    mode: str,
+    k: int,
+    scoring: ScoringMatrix = BLOSUM62,
+    gap_open: int = 11,
+    gap_extend: int = 1,
+    xdrop: int = 49,
+    traceback: bool = True,
+    threads: int = 1,
+) -> list[AlignmentResult]:
+    """Align a batch of tasks, optionally across a thread pool, preserving
+    task order in the result list."""
+
+    def work(t: AlignmentTask) -> AlignmentResult:
+        return align_pair(
+            t, mode, k, scoring, gap_open, gap_extend, xdrop, traceback
+        )
+
+    if threads <= 1 or len(tasks) < 2:
+        return [work(t) for t in tasks]
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        return list(pool.map(work, tasks))

@@ -1,0 +1,96 @@
+"""Alignment results and the similarity measures used by the paper.
+
+PASTIS weighs PSG edges with either
+
+* **ANI** — average nucleotide (here amino-acid) identity of the alignment:
+  ``matches / alignment_length``; requires a traceback;
+* **NS** — normalized raw score: ``score / min(len_a, len_b)``; cheaper
+  because no traceback is needed (Section VI-B).
+
+The similarity filter (Section IV-F) vetoes pairs with ANI < 30 % or
+shorter-sequence coverage < 70 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AlignmentResult", "normalized_score", "passes_filter"]
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Outcome of one pairwise alignment.
+
+    Spans are half-open residue ranges of the aligned region on each
+    sequence; ``matches``/``alignment_length`` are 0 when the aligner ran in
+    score-only mode (no traceback).
+    """
+
+    score: int
+    a_start: int
+    a_end: int
+    b_start: int
+    b_end: int
+    matches: int
+    alignment_length: int
+    len_a: int
+    len_b: int
+    mode: str  # "sw", "xd", "ungapped"
+
+    @property
+    def identity(self) -> float:
+        """ANI in [0, 1]: exact residue matches over alignment columns."""
+        if self.alignment_length == 0:
+            return 0.0
+        return self.matches / self.alignment_length
+
+    @property
+    def coverage_short(self) -> float:
+        """Aligned fraction of the *shorter* sequence (paper's coverage)."""
+        short = min(self.len_a, self.len_b)
+        if short == 0:
+            return 0.0
+        span = min(self.a_end - self.a_start, self.b_end - self.b_start)
+        return min(span / short, 1.0)
+
+    @property
+    def normalized_score(self) -> float:
+        """NS: raw score over the shorter sequence length."""
+        return normalized_score(self.score, self.len_a, self.len_b)
+
+    def swap(self) -> "AlignmentResult":
+        """The same alignment viewed with the sequences exchanged."""
+        return AlignmentResult(
+            score=self.score,
+            a_start=self.b_start,
+            a_end=self.b_end,
+            b_start=self.a_start,
+            b_end=self.a_end,
+            matches=self.matches,
+            alignment_length=self.alignment_length,
+            len_a=self.len_b,
+            len_b=self.len_a,
+            mode=self.mode,
+        )
+
+
+def normalized_score(score: int, len_a: int, len_b: int) -> float:
+    """Raw alignment score normalized by the shorter sequence length."""
+    short = min(len_a, len_b)
+    if short <= 0:
+        return 0.0
+    return score / short
+
+
+def passes_filter(
+    result: AlignmentResult,
+    min_identity: float = 0.30,
+    min_coverage: float = 0.70,
+) -> bool:
+    """The paper's post-alignment similarity filter (ANI >= 30 %,
+    shorter-sequence coverage >= 70 % by default)."""
+    return (
+        result.identity >= min_identity
+        and result.coverage_short >= min_coverage
+    )

@@ -1,0 +1,89 @@
+"""Ungapped x-drop extension along a diagonal.
+
+Used by the MMseqs2-like baseline (its prefilter performs an ungapped
+alignment on each double-hit diagonal before deciding on a gapped pass) and
+available as a cheap scoring mode in its own right.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bio.scoring import BLOSUM62, ScoringMatrix
+from .stats import AlignmentResult
+
+__all__ = ["ungapped_extend", "ungapped_align"]
+
+
+def ungapped_extend(
+    a: np.ndarray,
+    b: np.ndarray,
+    xdrop: int,
+    scoring: ScoringMatrix = BLOSUM62,
+) -> tuple[int, int, int]:
+    """Extend along the main diagonal from the origin; stop when the running
+    score drops ``xdrop`` below the best.  Returns ``(score, length,
+    matches)`` of the best prefix."""
+    n = min(len(a), len(b))
+    if n == 0:
+        return 0, 0, 0
+    scores = scoring.matrix[
+        np.asarray(a[:n], dtype=np.intp), np.asarray(b[:n], dtype=np.intp)
+    ].astype(np.int64)
+    running = np.cumsum(scores)
+    best_prefix = np.maximum.accumulate(running)
+    dead = running < best_prefix - xdrop
+    limit = int(np.argmax(dead)) if dead.any() else n
+    if limit == 0 and dead[0]:
+        window = running[:1]
+    else:
+        window = running[: limit if dead.any() else n]
+    if len(window) == 0:
+        return 0, 0, 0
+    best_idx = int(np.argmax(window))
+    best = int(window[best_idx])
+    if best <= 0:
+        return 0, 0, 0
+    length = best_idx + 1
+    matches = int(
+        (np.asarray(a[:length]) == np.asarray(b[:length])).sum()
+    )
+    return best, length, matches
+
+
+def ungapped_align(
+    a: np.ndarray,
+    b: np.ndarray,
+    seed_a: int,
+    seed_b: int,
+    k: int,
+    xdrop: int = 20,
+    scoring: ScoringMatrix = BLOSUM62,
+) -> AlignmentResult:
+    """Seed-anchored ungapped alignment: extend the diagonal through the
+    seed in both directions with x-drop."""
+    n, m = len(a), len(b)
+    if not (0 <= seed_a <= n - k and 0 <= seed_b <= m - k):
+        raise ValueError("seed does not fit inside the sequences")
+    seed_score = scoring.kmer_match_score(
+        a[seed_a : seed_a + k], b[seed_b : seed_b + k]
+    )
+    seed_matches = int((a[seed_a : seed_a + k] == b[seed_b : seed_b + k]).sum())
+    rs, rl, rm = ungapped_extend(
+        a[seed_a + k :], b[seed_b + k :], xdrop, scoring
+    )
+    ls, ll, lm = ungapped_extend(
+        a[:seed_a][::-1], b[:seed_b][::-1], xdrop, scoring
+    )
+    return AlignmentResult(
+        score=int(seed_score) + rs + ls,
+        a_start=seed_a - ll,
+        a_end=seed_a + k + rl,
+        b_start=seed_b - ll,
+        b_end=seed_b + k + rl,
+        matches=seed_matches + rm + lm,
+        alignment_length=k + rl + ll,
+        len_a=n,
+        len_b=m,
+        mode="ungapped",
+    )

@@ -1,0 +1,17 @@
+"""Comparator tools re-implemented for the evaluation: an MMseqs2-like
+double-hit prefilter search and a LAST-like adaptive-seed search, plus the
+suffix array they share."""
+
+from .last import LastConfig, last_search
+from .mmseqs import MMseqsConfig, mmseqs_search, similar_kmers
+from .suffix_array import SuffixIndex, suffix_array
+
+__all__ = [
+    "LastConfig",
+    "last_search",
+    "MMseqsConfig",
+    "mmseqs_search",
+    "similar_kmers",
+    "SuffixIndex",
+    "suffix_array",
+]

@@ -1,0 +1,176 @@
+"""Suffix array over a concatenated sequence collection.
+
+The LAST baseline (Section III) is suffix-array based: its adaptive seeds
+repeatedly lengthen a match until the number of occurrences in the target
+set drops below a frequency threshold.  This module builds the suffix array
+with prefix doubling (O(n log² n), fully vectorised with NumPy) and supports
+the shrinking-interval queries adaptive seeds need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bio.sequences import SequenceStore
+
+__all__ = ["suffix_array", "SuffixIndex"]
+
+
+def suffix_array(text: np.ndarray) -> np.ndarray:
+    """Suffix array of an integer sequence via prefix doubling.
+
+    ``text`` entries may be any non-negative ints; the returned array lists
+    suffix start offsets in lexicographic order of the suffixes.
+    """
+    t = np.asarray(text, dtype=np.int64)
+    n = len(t)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    rank = np.unique(t, return_inverse=True)[1].astype(np.int64)
+    sa = np.argsort(rank, kind="stable").astype(np.int64)
+    k = 1
+    while True:
+        # sort by (rank[i], rank[i + k]) with -1 past the end
+        second = np.full(n, -1, dtype=np.int64)
+        second[: n - k] = rank[k:]
+        order = np.lexsort((second, rank))
+        sa = order.astype(np.int64)
+        # recompute ranks
+        key_r = rank[sa]
+        key_s = second[sa]
+        new_rank = np.zeros(n, dtype=np.int64)
+        changed = np.ones(n, dtype=bool)
+        changed[1:] = (key_r[1:] != key_r[:-1]) | (key_s[1:] != key_s[:-1])
+        new_rank[sa] = np.cumsum(changed) - 1
+        rank = new_rank
+        if rank.max() == n - 1:
+            break
+        k *= 2
+        if k >= n:
+            break
+    return sa
+
+
+@dataclass
+class SuffixIndex:
+    """Searchable suffix array over every sequence of a store.
+
+    Sequences are concatenated with unique negative sentinels so no suffix
+    runs across a boundary; ``suffix_seq``/``suffix_off`` map each suffix to
+    its (sequence id, offset).
+    """
+
+    text: np.ndarray
+    sa: np.ndarray
+    suffix_seq: np.ndarray
+    suffix_off: np.ndarray
+
+    @classmethod
+    def build(cls, store: SequenceStore) -> "SuffixIndex":
+        parts: list[np.ndarray] = []
+        seq_of: list[np.ndarray] = []
+        off_of: list[np.ndarray] = []
+        for i in range(len(store)):
+            enc = store.encoded(i).astype(np.int64) + 1  # sentinel room
+            parts.append(np.concatenate((enc, [-(i + 1)])))
+            seq_of.append(np.full(len(enc) + 1, i, dtype=np.int64))
+            off_of.append(
+                np.concatenate(
+                    (np.arange(len(enc), dtype=np.int64), [-1])
+                )
+            )
+        text = np.concatenate(parts) if parts else np.empty(0, np.int64)
+        # shift sentinels below all residues but keep them distinct
+        sentinel_mask = text < 0
+        text = text.copy()
+        text[sentinel_mask] -= 0  # already unique negatives
+        sa = suffix_array(text)
+        return cls(
+            text=text,
+            sa=sa,
+            suffix_seq=np.concatenate(seq_of) if seq_of else np.empty(0, np.int64),
+            suffix_off=np.concatenate(off_of) if off_of else np.empty(0, np.int64),
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def _compare(self, suffix: int, pattern: np.ndarray) -> int:
+        """-1/0/+1: suffix at text offset vs pattern (prefix comparison)."""
+        n = len(self.text)
+        for t in range(len(pattern)):
+            if suffix + t >= n:
+                return -1
+            a = self.text[suffix + t]
+            b = pattern[t]
+            if a < b:
+                return -1
+            if a > b:
+                return 1
+        return 0
+
+    def match_range(
+        self, pattern: np.ndarray, start: tuple[int, int] | None = None
+    ) -> tuple[int, int]:
+        """Half-open suffix-array interval of suffixes starting with
+        ``pattern`` (store-encoded +1, as in :meth:`build`); ``start``
+        restricts the search to a known enclosing interval (used when
+        lengthening an adaptive seed)."""
+        lo, hi = start if start is not None else (0, len(self.sa))
+
+        # lower bound
+        a, b = lo, hi
+        while a < b:
+            mid = (a + b) // 2
+            if self._compare(int(self.sa[mid]), pattern) < 0:
+                a = mid + 1
+            else:
+                b = mid
+        lower = a
+        # upper bound: first suffix strictly greater than every pattern-
+        # prefixed suffix
+        a, b = lower, hi
+        while a < b:
+            mid = (a + b) // 2
+            if self._compare(int(self.sa[mid]), pattern) <= 0:
+                a = mid + 1
+            else:
+                b = mid
+        return lower, a
+
+    def occurrences(self, lo: int, hi: int) -> list[tuple[int, int]]:
+        """``(sequence id, offset)`` for the suffixes in ``sa[lo:hi]``."""
+        out = []
+        for t in range(lo, hi):
+            s = int(self.sa[t])
+            if self.suffix_off[s] >= 0:
+                out.append(
+                    (int(self.suffix_seq[s]), int(self.suffix_off[s]))
+                )
+        return out
+
+    def adaptive_seed(
+        self, query: np.ndarray, pos: int, max_matches: int, min_length: int = 3
+    ) -> tuple[int, list[tuple[int, int]]]:
+        """LAST's adaptive seed at ``query[pos:]``: lengthen the match until
+        its occurrence count drops to ``max_matches`` or fewer (or the query
+        ends).  Returns ``(seed length, occurrences)``; empty when even the
+        full remaining query is more frequent than ``max_matches`` or the
+        seed cannot reach ``min_length``."""
+        enc = np.asarray(query, dtype=np.int64) + 1
+        interval = (0, len(self.sa))
+        length = 0
+        while pos + length < len(enc):
+            nxt = enc[pos : pos + length + 1]
+            interval = self.match_range(nxt, start=interval)
+            length += 1
+            count = interval[1] - interval[0]
+            if count == 0:
+                return 0, []
+            if count <= max_matches and length >= min_length:
+                return length, self.occurrences(*interval)
+        count = interval[1] - interval[0]
+        if 0 < count <= max_matches and length >= min_length:
+            return length, self.occurrences(*interval)
+        return 0, []

@@ -1,0 +1,257 @@
+"""Amino-acid substitution scoring matrices and the expense matrix ``E``.
+
+PASTIS scores alignments (and substitute k-mer distances) with BLOSUM62
+(Henikoff & Henikoff 1992).  We ship the standard 24x24 NCBI matrices over the
+alphabet ``ARNDCQEGHILKMFPSTWYVBZX*`` plus the derived *expense matrix*
+
+    ``E = SORT(DIAG(C) - C)``
+
+from Section IV-B of the paper: ``E[i]`` lists, in ascending cost order, the
+penalty of substituting base ``i`` with every other base, together with that
+base.  ``E[i][0]`` is always ``(0, i)`` (no substitution) and ``E[i][1]`` is
+the cheapest real substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .alphabet import ALPHABET_SIZE, BASE_TO_INDEX, PROTEIN_ALPHABET
+
+__all__ = [
+    "ScoringMatrix",
+    "ExpenseMatrix",
+    "BLOSUM62",
+    "BLOSUM45",
+    "BLOSUM80",
+    "PAM250",
+    "get_matrix",
+]
+
+
+def _parse_matrix(rows: str) -> np.ndarray:
+    """Parse whitespace-separated integer rows; symmetrize from the upper
+    triangle so hand-transcription slips cannot introduce asymmetry."""
+    data = np.array(
+        [[int(x) for x in line.split()] for line in rows.strip().splitlines()],
+        dtype=np.int32,
+    )
+    if data.shape != (ALPHABET_SIZE, ALPHABET_SIZE):
+        raise ValueError(f"expected 24x24 matrix, got {data.shape}")
+    upper = np.triu(data)
+    return upper + upper.T - np.diag(np.diag(data))
+
+
+# Standard NCBI BLOSUM62 over ARNDCQEGHILKMFPSTWYVBZX*
+_BLOSUM62_ROWS = """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -2 -1  0 -4
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -1  0 -1 -4
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3  3  0 -1 -4
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3  4  1 -1 -4
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -3 -3 -2 -4
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2  0  3 -1 -4
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -1 -2 -1 -4
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3  0  0 -1 -4
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -3 -3 -1 -4
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -4 -3 -1 -4
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2  0  1 -1 -4
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -3 -1 -1 -4
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -3 -3 -1 -4
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -2 -1 -2 -4
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2  0  0  0 -4
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -1 -1  0 -4
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -4 -3 -2 -4
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -3 -2 -1 -4
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -3 -2 -1 -4
+-2 -1  3  4 -3  0  1 -1  0 -3 -4  0 -3 -3 -2  0 -1 -4 -3 -3  4  1 -1 -4
+-1  0  0  1 -3  3  4 -2  0 -3 -3  1 -1 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2  0  0 -2 -1 -1 -1 -1 -1 -4
+-4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4  1
+"""
+
+_BLOSUM45_ROWS = """
+ 5 -2 -1 -2 -1 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -2 -2  0 -1 -1  0 -5
+-2  7  0 -1 -3  1  0 -2  0 -3 -2  3 -1 -2 -2 -1 -1 -2 -1 -2 -1  0 -1 -5
+-1  0  6  2 -2  0  0  0  1 -2 -3  0 -2 -2 -2  1  0 -4 -2 -3  4  0 -1 -5
+-2 -1  2  7 -3  0  2 -1  0 -4 -3  0 -3 -4 -1  0 -1 -4 -2 -3  5  1 -1 -5
+-1 -3 -2 -3 12 -3 -3 -3 -3 -3 -2 -3 -2 -2 -4 -1 -1 -5 -3 -1 -2 -3 -2 -5
+-1  1  0  0 -3  6  2 -2  1 -2 -2  1  0 -4 -1  0 -1 -2 -1 -3  0  4 -1 -5
+-1  0  0  2 -3  2  6 -2  0 -3 -2  1 -2 -3  0  0 -1 -3 -2 -3  1  4 -1 -5
+ 0 -2  0 -1 -3 -2 -2  7 -2 -4 -3 -2 -2 -3 -2  0 -2 -2 -3 -3 -1 -2 -1 -5
+-2  0  1  0 -3  1  0 -2 10 -3 -2 -1  0 -2 -2 -1 -2 -3  2 -3  0  0 -1 -5
+-1 -3 -2 -4 -3 -2 -3 -4 -3  5  2 -3  2  0 -2 -2 -1 -2  0  3 -3 -3 -1 -5
+-1 -2 -3 -3 -2 -2 -2 -3 -2  2  5 -3  2  1 -3 -3 -1 -2  0  1 -3 -2 -1 -5
+-1  3  0  0 -3  1  1 -2 -1 -3 -3  5 -1 -3 -1 -1 -1 -2 -1 -2  0  1 -1 -5
+-1 -1 -2 -3 -2  0 -2 -2  0  2  2 -1  6  0 -2 -2 -1 -2  0  1 -2 -1 -1 -5
+-2 -2 -2 -4 -2 -4 -3 -3 -2  0  1 -3  0  8 -3 -2 -1  1  3  0 -3 -3 -1 -5
+-1 -2 -2 -1 -4 -1  0 -2 -2 -2 -3 -1 -2 -3  9 -1 -1 -3 -3 -3 -2 -1 -1 -5
+ 1 -1  1  0 -1  0  0  0 -1 -2 -3 -1 -2 -2 -1  4  2 -4 -2 -1  0  0  0 -5
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -1 -1  2  5 -3 -1  0  0 -1  0 -5
+-2 -2 -4 -4 -5 -2 -3 -2 -3 -2 -2 -2 -2  1 -3 -4 -3 15  3 -3 -4 -2 -2 -5
+-2 -1 -2 -2 -3 -1 -2 -3  2  0  0 -1  0  3 -3 -2 -1  3  8 -1 -2 -2 -1 -5
+ 0 -2 -3 -3 -1 -3 -3 -3 -3  3  1 -2  1  0 -3 -1  0 -3 -1  5 -3 -3 -1 -5
+-1 -1  4  5 -2  0  1 -1  0 -3 -3  0 -2 -3 -2  0  0 -4 -2 -3  4  2 -1 -5
+-1  0  0  1 -3  4  4 -2  0 -3 -2  1 -1 -3 -1  0 -1 -2 -2 -3  2  4 -1 -5
+ 0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1  0  0 -2 -1 -1 -1 -1 -1 -5
+-5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5  1
+"""
+
+_BLOSUM80_ROWS = """
+ 5 -2 -2 -2 -1 -1 -1  0 -2 -2 -2 -1 -1 -3 -1  1  0 -3 -2  0 -2 -1 -1 -6
+-2  6 -1 -2 -4  1 -1 -3  0 -3 -3  2 -2 -4 -2 -1 -1 -4 -3 -3 -2  0 -1 -6
+-2 -1  6  1 -3  0 -1 -1  0 -4 -4  0 -3 -4 -3  0  0 -4 -3 -4  4  0 -1 -6
+-2 -2  1  6 -4 -1  1 -2 -2 -4 -5 -1 -4 -4 -2 -1 -1 -6 -4 -4  4  1 -2 -6
+-1 -4 -3 -4  9 -4 -5 -4 -4 -2 -2 -4 -2 -3 -4 -2 -1 -3 -3 -1 -4 -4 -3 -6
+-1  1  0 -1 -4  6  2 -2  1 -3 -3  1  0 -4 -2  0 -1 -3 -2 -3  0  3 -1 -6
+-1 -1 -1  1 -5  2  6 -3  0 -4 -4  1 -2 -4 -2  0 -1 -4 -3 -3  1  4 -1 -6
+ 0 -3 -1 -2 -4 -2 -3  6 -3 -5 -4 -2 -4 -4 -3 -1 -2 -4 -4 -4 -1 -3 -2 -6
+-2  0  0 -2 -4  1  0 -3  8 -4 -3 -1 -2 -2 -3 -1 -2 -3  2 -4 -1  0 -2 -6
+-2 -3 -4 -4 -2 -3 -4 -5 -4  5  1 -3  1 -1 -4 -3 -1 -3 -2  3 -4 -4 -2 -6
+-2 -3 -4 -5 -2 -3 -4 -4 -3  1  4 -3  2  0 -3 -3 -2 -2 -2  1 -4 -3 -2 -6
+-1  2  0 -1 -4  1  1 -2 -1 -3 -3  5 -2 -4 -1 -1 -1 -4 -3 -3 -1  1 -1 -6
+-1 -2 -3 -4 -2  0 -2 -4 -2  1  2 -2  6  0 -3 -2 -1 -2 -2  1 -3 -2 -1 -6
+-3 -4 -4 -4 -3 -4 -4 -4 -2 -1  0 -4  0  6 -4 -3 -2  0  3 -1 -4 -4 -2 -6
+-1 -2 -3 -2 -4 -2 -2 -3 -3 -4 -3 -1 -3 -4  8 -1 -2 -5 -4 -3 -2 -2 -2 -6
+ 1 -1  0 -1 -2  0  0 -1 -1 -3 -3 -1 -2 -3 -1  5  1 -4 -2 -2  0  0 -1 -6
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -2 -1 -1 -2 -2  1  5 -4 -2  0 -1 -1 -1 -6
+-3 -4 -4 -6 -3 -3 -4 -4 -3 -3 -2 -4 -2  0 -5 -4 -4 11  2 -3 -5 -4 -3 -6
+-2 -3 -3 -4 -3 -2 -3 -4  2 -2 -2 -3 -2  3 -4 -2 -2  2  7 -2 -3 -3 -2 -6
+ 0 -3 -4 -4 -1 -3 -3 -4 -4  3  1 -3  1 -1 -3 -2  0 -3 -2  4 -4 -3 -1 -6
+-2 -2  4  4 -4  0  1 -1 -1 -4 -4 -1 -3 -4 -2  0 -1 -5 -3 -4  4  0 -2 -6
+-1  0  0  1 -4  3  4 -3  0 -4 -3  1 -2 -4 -2  0 -1 -4 -3 -3  0  4 -1 -6
+-1 -1 -1 -2 -3 -1 -1 -2 -2 -2 -2 -1 -1 -2 -2 -1 -1 -3 -2 -1 -2 -1 -1 -6
+-6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6  1
+"""
+
+_PAM250_ROWS = """
+ 2 -2  0  0 -2  0  0  1 -1 -1 -2 -1 -1 -3  1  1  1 -6 -3  0  0  0  0 -8
+-2  6  0 -1 -4  1 -1 -3  2 -2 -3  3  0 -4  0  0 -1  2 -4 -2 -1  0 -1 -8
+ 0  0  2  2 -4  1  1  0  2 -2 -3  1 -2 -3  0  1  0 -4 -2 -2  2  1  0 -8
+ 0 -1  2  4 -5  2  3  1  1 -2 -4  0 -3 -6 -1  0  0 -7 -4 -2  3  3 -1 -8
+-2 -4 -4 -5 12 -5 -5 -3 -3 -2 -6 -5 -5 -4 -3  0 -2 -8  0 -2 -4 -5 -3 -8
+ 0  1  1  2 -5  4  2 -1  3 -2 -2  1 -1 -5  0 -1 -1 -5 -4 -2  1  3 -1 -8
+ 0 -1  1  3 -5  2  4  0  1 -2 -3  0 -2 -5 -1  0  0 -7 -4 -2  3  3 -1 -8
+ 1 -3  0  1 -3 -1  0  5 -2 -3 -4 -2 -3 -5  0  1  0 -7 -5 -1  0  0 -1 -8
+-1  2  2  1 -3  3  1 -2  6 -2 -2  0 -2 -2  0 -1 -1 -3  0 -2  1  2 -1 -8
+-1 -2 -2 -2 -2 -2 -2 -3 -2  5  2 -2  2  1 -2 -1  0 -5 -1  4 -2 -2 -1 -8
+-2 -3 -3 -4 -6 -2 -3 -4 -2  2  6 -3  4  2 -3 -3 -2 -2 -1  2 -3 -3 -1 -8
+-1  3  1  0 -5  1  0 -2  0 -2 -3  5  0 -5 -1  0  0 -3 -4 -2  1  0 -1 -8
+-1  0 -2 -3 -5 -1 -2 -3 -2  2  4  0  6  0 -2 -2 -1 -4 -2  2 -2 -2 -1 -8
+-3 -4 -3 -6 -4 -5 -5 -5 -2  1  2 -5  0  9 -5 -3 -3  0  7 -1 -4 -5 -2 -8
+ 1  0  0 -1 -3  0 -1  0  0 -2 -3 -1 -2 -5  6  1  0 -6 -5 -1 -1  0 -1 -8
+ 1  0  1  0  0 -1  0  1 -1 -1 -3  0 -2 -3  1  2  1 -2 -3 -1  0  0  0 -8
+ 1 -1  0  0 -2 -1  0  0 -1  0 -2  0 -1 -3  0  1  3 -5 -3  0  0 -1  0 -8
+-6  2 -4 -7 -8 -5 -7 -7 -3 -5 -2 -3 -4  0 -6 -2 -5 17  0 -6 -5 -6 -4 -8
+-3 -4 -2 -4  0 -4 -4 -5  0 -1 -1 -4 -2  7 -5 -3 -3  0 10 -2 -3 -4 -2 -8
+ 0 -2 -2 -2 -2 -2 -2 -1 -2  4  2 -2  2 -1 -1 -1  0 -6 -2  4 -2 -2 -1 -8
+ 0 -1  2  3 -4  1  3  0  1 -2 -3  1 -2 -4 -1  0  0 -5 -3 -2  3  2 -1 -8
+ 0  0  1  3 -5  3  3  0  2 -2 -3  0 -2 -5  0  0 -1 -6 -4 -2  2  3 -1 -8
+ 0 -1  0 -1 -3 -1 -1 -1 -1 -1 -1 -1 -1 -2 -1  0  0 -4 -2 -1 -1 -1 -1 -8
+-8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8  1
+"""
+
+
+@dataclass(frozen=True)
+class ScoringMatrix:
+    """A symmetric amino-acid substitution matrix over the 24-letter alphabet.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name ("blosum62", ...).
+    matrix:
+        24x24 ``int32`` array; ``matrix[i, j]`` is the score of aligning base
+        ``i`` against base ``j`` (alphabet order ``ARNDCQEGHILKMFPSTWYVBZX*``).
+    """
+
+    name: str
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.matrix, dtype=np.int32)
+        if m.shape != (ALPHABET_SIZE, ALPHABET_SIZE):
+            raise ValueError("scoring matrix must be 24x24")
+        if not (m == m.T).all():
+            raise ValueError("scoring matrix must be symmetric")
+        object.__setattr__(self, "matrix", m)
+
+    def score(self, a: str, b: str) -> int:
+        """Score of aligning single bases ``a`` against ``b``."""
+        return int(self.matrix[BASE_TO_INDEX[a], BASE_TO_INDEX[b]])
+
+    def score_indices(self, i: int, j: int) -> int:
+        """Score of aligning alphabet indices ``i`` against ``j``."""
+        return int(self.matrix[i, j])
+
+    def self_score(self, seq_idx: np.ndarray) -> int:
+        """Score of a sequence (as index array) aligned against itself."""
+        d = np.diag(self.matrix)
+        return int(d[np.asarray(seq_idx, dtype=np.intp)].sum())
+
+    def kmer_match_score(self, kmer_a: np.ndarray, kmer_b: np.ndarray) -> int:
+        """Ungapped score of matching two equal-length k-mers."""
+        a = np.asarray(kmer_a, dtype=np.intp)
+        b = np.asarray(kmer_b, dtype=np.intp)
+        if a.shape != b.shape:
+            raise ValueError("k-mers must have equal length")
+        return int(self.matrix[a, b].sum())
+
+    def expense_matrix(self) -> "ExpenseMatrix":
+        """The sorted expense matrix ``E = SORT(DIAG(C) - C)`` of the paper."""
+        return ExpenseMatrix.from_scoring(self)
+
+
+@dataclass(frozen=True)
+class ExpenseMatrix:
+    """Sorted substitution-expense table (paper Section IV-B).
+
+    ``costs[i]`` holds, ascending, the penalties ``C[i,i] - C[i,j]`` of
+    substituting base ``i``; ``bases[i]`` holds the substituting base indices
+    in the same order.  ``costs[i][0] == 0`` with ``bases[i][0] == i``.
+    """
+
+    costs: np.ndarray  # (24, 24) int32, rows ascending
+    bases: np.ndarray  # (24, 24) int8, substituting base for each cost
+    source: str = field(default="")
+
+    @classmethod
+    def from_scoring(cls, scoring: ScoringMatrix) -> "ExpenseMatrix":
+        c = scoring.matrix
+        diag = np.diag(c)
+        expense = diag[:, None] - c  # expense[i, j] = cost of i -> j
+        order = np.argsort(expense, axis=1, kind="stable")
+        costs = np.take_along_axis(expense, order, axis=1).astype(np.int32)
+        bases = order.astype(np.int8)
+        return cls(costs=costs, bases=bases, source=scoring.name)
+
+    def cheapest_substitution(self, base_idx: int) -> tuple[int, int]:
+        """``(cost, substituting base index)`` of the cheapest real
+        substitution for ``base_idx`` (i.e. ``E[i][1]`` in the paper)."""
+        return int(self.costs[base_idx, 1]), int(self.bases[base_idx, 1])
+
+    def substitution_cost(self, from_idx: int, to_idx: int) -> int:
+        """Cost ``C[i,i] - C[i,j]`` of substituting ``from_idx`` by
+        ``to_idx`` (0 when they are equal)."""
+        pos = np.nonzero(self.bases[from_idx] == to_idx)[0][0]
+        return int(self.costs[from_idx, pos])
+
+
+BLOSUM62 = ScoringMatrix("blosum62", _parse_matrix(_BLOSUM62_ROWS))
+BLOSUM45 = ScoringMatrix("blosum45", _parse_matrix(_BLOSUM45_ROWS))
+BLOSUM80 = ScoringMatrix("blosum80", _parse_matrix(_BLOSUM80_ROWS))
+PAM250 = ScoringMatrix("pam250", _parse_matrix(_PAM250_ROWS))
+
+_MATRICES = {m.name: m for m in (BLOSUM62, BLOSUM45, BLOSUM80, PAM250)}
+
+
+def get_matrix(name: str) -> ScoringMatrix:
+    """Look up a scoring matrix by case-insensitive name."""
+    try:
+        return _MATRICES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown scoring matrix {name!r}; available: {sorted(_MATRICES)}"
+        ) from None

@@ -1,0 +1,17 @@
+"""Clustering stage: Markov Clustering (HipMCL stand-in), connected
+components, and the weighted precision/recall metrics of the evaluation."""
+
+from .components import UnionFind, connected_components
+from .mcl import MCLResult, clusters_to_labels, markov_clustering
+from .metrics import PrecisionRecall, pairwise_metrics, weighted_precision_recall
+
+__all__ = [
+    "UnionFind",
+    "connected_components",
+    "MCLResult",
+    "clusters_to_labels",
+    "markov_clustering",
+    "PrecisionRecall",
+    "pairwise_metrics",
+    "weighted_precision_recall",
+]

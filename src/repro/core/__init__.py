@@ -1,0 +1,56 @@
+"""PASTIS core: configuration, custom semirings, overlap detection, the
+single-process pipeline, and the distributed SPMD pipeline."""
+
+from .config import PastisConfig
+from .distributed import pastis_rank, run_pastis_distributed, store_to_fasta_bytes
+from .extensions import (
+    KmerFrequencyReport,
+    high_frequency_kmer_filter,
+    kmer_frequency_analysis,
+    pastis_pipeline_batched,
+)
+from .graph import SimilarityGraph
+from .overlap import (
+    CandidatePairs,
+    build_a_triples,
+    build_s_triples,
+    find_candidate_pairs,
+    find_candidate_pairs_semiring,
+)
+from .pipeline import align_candidates, edge_weight, pastis_pipeline
+from .semirings import (
+    MAX_SEEDS,
+    CommonKmers,
+    SeedHit,
+    exact_overlap_semiring,
+    merge_common_kmers,
+    substitute_as_semiring,
+    substitute_overlap_semiring,
+)
+
+__all__ = [
+    "PastisConfig",
+    "KmerFrequencyReport",
+    "high_frequency_kmer_filter",
+    "kmer_frequency_analysis",
+    "pastis_pipeline_batched",
+    "pastis_rank",
+    "run_pastis_distributed",
+    "store_to_fasta_bytes",
+    "SimilarityGraph",
+    "CandidatePairs",
+    "build_a_triples",
+    "build_s_triples",
+    "find_candidate_pairs",
+    "find_candidate_pairs_semiring",
+    "align_candidates",
+    "edge_weight",
+    "pastis_pipeline",
+    "MAX_SEEDS",
+    "CommonKmers",
+    "SeedHit",
+    "exact_overlap_semiring",
+    "merge_common_kmers",
+    "substitute_as_semiring",
+    "substitute_overlap_semiring",
+]

@@ -1,0 +1,90 @@
+"""PASTIS run configuration.
+
+Defaults follow the paper's evaluation (Section VI): k = 6, BLOSUM62 with
+gap open 11 / extend 1, x-drop 49, ANI >= 30 % and shorter-sequence coverage
+>= 70 % for the similarity filter, common-k-mer threshold 1 for exact k-mers
+and 3 for substitute k-mers when the CK variant is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bio.scoring import BLOSUM62, ScoringMatrix
+
+__all__ = ["PastisConfig"]
+
+
+@dataclass(frozen=True)
+class PastisConfig:
+    """Every knob of the pipeline, immutable so runs are reproducible.
+
+    Attributes
+    ----------
+    k:
+        Seed length (paper uses 6).
+    substitutes:
+        Number of substitute k-mers per k-mer (``s`` in the paper's variant
+        names); 0 disables the ``S`` matrix (exact matching).
+    align_mode:
+        ``"xd"`` (seed-and-extend gapped x-drop) or ``"sw"``
+        (Smith-Waterman).
+    common_kmer_threshold:
+        The CK parameter: candidate pairs sharing this many k-mers *or
+        fewer* are dropped before alignment; ``None`` disables.  The paper
+        uses 1 for exact and 3 for substitute k-mers.
+    weight:
+        Edge weighting: ``"ani"`` (identity; implies the similarity filter)
+        or ``"ns"`` (normalized raw score; the paper applies no cut-off).
+    """
+
+    k: int = 6
+    substitutes: int = 0
+    align_mode: str = "xd"
+    common_kmer_threshold: int | None = None
+    weight: str = "ani"
+    scoring: ScoringMatrix = field(default=BLOSUM62)
+    gap_open: int = 11
+    gap_extend: int = 1
+    xdrop: int = 49
+    min_identity: float = 0.30
+    min_coverage: float = 0.70
+    max_seeds: int = 2
+    align_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.align_mode not in ("xd", "sw"):
+            raise ValueError("align_mode must be 'xd' or 'sw'")
+        if self.weight not in ("ani", "ns"):
+            raise ValueError("weight must be 'ani' or 'ns'")
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if self.substitutes < 0:
+            raise ValueError("substitutes must be non-negative")
+        if self.common_kmer_threshold is not None and (
+            self.common_kmer_threshold < 0
+        ):
+            raise ValueError("common_kmer_threshold must be non-negative")
+
+    @property
+    def uses_filter(self) -> bool:
+        """The 30 %/70 % veto applies to ANI weighting only (Section VI-B:
+        no cut-off is applied under NS)."""
+        return self.weight == "ani"
+
+    @property
+    def variant_name(self) -> str:
+        """Paper-style variant label, e.g. ``PASTIS-XD-s25-CK``."""
+        name = f"PASTIS-{self.align_mode.upper()}-s{self.substitutes}"
+        if self.common_kmer_threshold is not None:
+            name += "-CK"
+        return name
+
+    def default_ck(self) -> "PastisConfig":
+        """This configuration with the paper's default CK threshold for its
+        k-mer mode (1 exact / 3 substitute)."""
+        from dataclasses import replace
+
+        return replace(
+            self, common_kmer_threshold=1 if self.substitutes == 0 else 3
+        )

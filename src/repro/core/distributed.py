@@ -1,0 +1,287 @@
+"""The fully distributed PASTIS pipeline (paper Section V).
+
+Every stage of Fig. 1 executed SPMD over the simulated MPI runtime:
+
+1. byte-balanced parallel FASTA parse (V-A);
+2. cooperative prefix sums -> every rank knows the 1-D sequence ownership;
+3. overlapped remote-sequence exchange posted immediately (V-C);
+4. distributed ``A`` (2-D blocks over the 24^k k-mer space), distributed
+   transpose, optional distributed ``S``;
+5. Sparse SUMMA with the PASTIS semirings: ``B = A Aᵀ`` or ``(A S) Aᵀ``
+   plus the symmetrization step (IV-C);
+6. waitall on the exchange (the "wait" dissection component);
+7. per-block upper-triangle pair extraction — "moving computation to data"
+   (V-D, Fig. 11) — so no rank sits idle and no pair is aligned twice;
+8. local alignments and the similarity filter; edges gathered on rank 0.
+
+Per-stage wall times are recorded with the same component names as the
+paper's dissection plots (fasta, form A, tr. A, form S, AS, (AS)AT, sym.,
+wait, align).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.batch import AlignmentTask, align_batch
+from ..align.stats import passes_filter
+from ..bio.fasta import chunk_boundaries, read_fasta_chunk, FastaRecord
+from ..bio.sequences import DistributedIndex, SequenceStore
+from ..kmers.encoding import kmer_space_size
+from ..mpisim.comm import SimComm, run_spmd
+from ..mpisim.grid import ProcessGrid
+from ..mpisim.tracing import CommTracer
+from ..sparse.coo import COOMatrix
+from ..sparse.distmat import DistSparseMatrix
+from ..sparse.ops import elementwise_add
+from ..sparse.summa import summa
+from .config import PastisConfig
+from .graph import SimilarityGraph
+from .overlap import build_a_triples, build_s_triples
+from .pipeline import edge_weight
+from .semirings import (
+    CommonKmers,
+    exact_overlap_semiring,
+    substitute_as_semiring,
+    substitute_overlap_semiring,
+)
+from .exchange import start_exchange
+
+__all__ = ["pastis_rank", "run_pastis_distributed", "store_to_fasta_bytes"]
+
+
+def store_to_fasta_bytes(store: SequenceStore) -> bytes:
+    """Serialise a store to FASTA bytes (the distributed pipeline's input)."""
+    parts = []
+    for i in range(len(store)):
+        parts.append(f">{store.ids[i]}\n{store.sequence(i)}\n")
+    return "".join(parts).encode("ascii")
+
+
+@dataclass
+class RankResult:
+    """Per-rank output: locally produced edges plus stage timings."""
+
+    edges: list[tuple[int, int, float]]
+    timings: dict[str, float]
+    aligned_pairs: int
+    candidate_pairs: int
+
+
+def _symmetrize_distributed(
+    b: DistSparseMatrix, grid: ProcessGrid, n: int
+) -> DistSparseMatrix:
+    """Distributed ``B ∪ Bᵀ`` with the canonical merge of
+    :func:`repro.core.overlap.symmetrize_candidates`: on count ties the
+    direction expanded from the smaller global sequence id wins, and the
+    transposed copies' seed tuples are re-oriented with
+    :meth:`CommonKmers.flip`.  One cross-diagonal block exchange (inside
+    ``transpose``) plus a local merge."""
+    bt = b.transpose()
+    rs, _ = b.row_range
+    cs, _ = b.col_range
+
+    def wrap(coo: COOMatrix, side_from_rows: bool, flip: bool) -> COOMatrix:
+        vals = np.empty(coo.nnz, dtype=object)
+        for t in range(coo.nnz):
+            side = (int(coo.rows[t]) + rs) if side_from_rows else (
+                int(coo.cols[t]) + cs
+            )
+            v = coo.vals[t]
+            vals[t] = (side, v.flip() if flip else v)
+        return COOMatrix(coo.nrows, coo.ncols, coo.rows, coo.cols, vals)
+
+    def pick(x, y):
+        (sx, cx), (sy, cy) = x, y
+        if cx.count != cy.count:
+            return x if cx.count > cy.count else y
+        return x if sx <= sy else y
+
+    merged = elementwise_add(
+        wrap(b.local, side_from_rows=True, flip=False),
+        wrap(bt.local, side_from_rows=False, flip=True),
+        pick,
+    )
+    return DistSparseMatrix(
+        grid=grid, nrows=n, ncols=n, local=merged.map_values(lambda v: v[1])
+    )
+
+
+def _extract_block_pairs(
+    b: DistSparseMatrix, grid: ProcessGrid
+) -> list[tuple[int, int, CommonKmers]]:
+    """Fig. 11: this rank aligns its block's local upper triangle; block
+    diagonals belong to the block at-or-above the main grid diagonal.
+
+    Because block ``(pi, pj)`` local ``(r, c)`` mirrors block ``(pj, pi)``
+    local ``(c, r)``, keeping ``r < c`` everywhere plus ``r == c`` only when
+    ``pi < pj`` covers every global off-diagonal pair exactly once."""
+    rs, _ = b.row_range
+    cs, _ = b.col_range
+    out: list[tuple[int, int, CommonKmers]] = []
+    loc = b.local
+    for t in range(loc.nnz):
+        r, c = int(loc.rows[t]), int(loc.cols[t])
+        if r < c or (r == c and grid.row < grid.col):
+            gi, gj = rs + r, cs + c
+            if gi == gj:
+                continue  # global self-pair
+            out.append((gi, gj, loc.vals[t]))
+    return out
+
+
+def pastis_rank(
+    comm: SimComm,
+    fasta_bytes: bytes,
+    config: PastisConfig,
+) -> RankResult:
+    """SPMD body: one rank of the distributed pipeline."""
+    timings: dict[str, float] = {}
+    grid = ProcessGrid.create(comm)
+
+    # -- 1. parallel FASTA parse ------------------------------------------
+    t0 = time.perf_counter()
+    bounds = chunk_boundaries(len(fasta_bytes), comm.size)
+    start, end = bounds[comm.rank]
+    records: list[FastaRecord] = read_fasta_chunk(fasta_bytes, start, end)
+    local_store = SequenceStore.from_records(records)
+    timings["fasta"] = time.perf_counter() - t0
+
+    # -- 2. cooperative prefix sums ---------------------------------------
+    counts = comm.allgather(len(local_store))
+    index = DistributedIndex.from_counts(counts)
+    n = index.total
+    gid0 = index.rank_range(comm.rank)[0]
+
+    # -- 3. overlapped sequence exchange (posted now, finished after B) ---
+    exchange = start_exchange(comm, grid, index, local_store, n)
+
+    # -- 4. form A ----------------------------------------------------------
+    t0 = time.perf_counter()
+    kspace = kmer_space_size(config.k)
+    rows, cols, pos = build_a_triples(local_store, config.k, row_offset=gid0)
+    a = DistSparseMatrix.distribute(grid, n, kspace, rows, cols, list(pos))
+    timings["form A"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    at = a.transpose()
+    timings["tr. A"] = time.perf_counter() - t0
+
+    # -- 5. SpGEMM(s) ---------------------------------------------------------
+    if config.substitutes > 0:
+        t0 = time.perf_counter()
+        local_kmers = np.unique(cols)
+        s_rows, s_cols, s_dist = build_s_triples(
+            local_kmers, config.k, config.substitutes, config.scoring
+        )
+        s = DistSparseMatrix.distribute(
+            grid, kspace, kspace, s_rows, s_cols, list(s_dist)
+        )
+        # ranks can generate the same k-mer's substitutes; dedupe
+        s.local = s.local.sum_duplicates(lambda x, y: x)
+        timings["form S"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        a_s = summa(a, s, substitute_as_semiring())
+        timings["AS"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        b = summa(a_s, at, substitute_overlap_semiring())
+        timings["(AS)AT"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        b = _symmetrize_distributed(b, grid, n)
+        timings["sym."] = time.perf_counter() - t0
+    else:
+        t0 = time.perf_counter()
+        b = summa(a, at, exact_overlap_semiring())
+        timings["(AS)AT"] = time.perf_counter() - t0
+
+    # -- 6. finish the exchange --------------------------------------------
+    cache = exchange.finish()
+    timings["wait"] = exchange.wait_seconds
+
+    # -- 7. pair extraction --------------------------------------------------
+    pairs = _extract_block_pairs(b, grid)
+    candidate_pairs = len(pairs)
+    if config.common_kmer_threshold is not None:
+        t = config.common_kmer_threshold
+        pairs = [p for p in pairs if p[2].count > t]
+
+    # -- 8. alignment + filter ------------------------------------------------
+    t0 = time.perf_counter()
+    tasks = []
+    for gi, gj, ck in pairs:
+        lo, hi = (gi, gj) if gi < gj else (gj, gi)
+        seeds = []
+        for (pi, pj, _d) in ck.seeds:
+            seeds.append((pi, pj) if gi == lo else (pj, pi))
+        tasks.append(
+            AlignmentTask(
+                a=cache[lo], b=cache[hi], seeds=tuple(seeds), pair=(lo, hi)
+            )
+        )
+    results = align_batch(
+        tasks,
+        mode=config.align_mode,
+        k=config.k,
+        scoring=config.scoring,
+        gap_open=config.gap_open,
+        gap_extend=config.gap_extend,
+        xdrop=config.xdrop,
+        traceback=True,
+        threads=config.align_threads,
+    )
+    edges: list[tuple[int, int, float]] = []
+    for task, res in zip(tasks, results):
+        if config.uses_filter and not passes_filter(
+            res, config.min_identity, config.min_coverage
+        ):
+            continue
+        w = edge_weight(res, config)
+        if w > 0:
+            edges.append((task.pair[0], task.pair[1], w))
+    timings["align"] = time.perf_counter() - t0
+
+    return RankResult(
+        edges=edges,
+        timings=timings,
+        aligned_pairs=len(tasks),
+        candidate_pairs=candidate_pairs,
+    )
+
+
+def run_pastis_distributed(
+    store: SequenceStore,
+    config: PastisConfig | None = None,
+    nranks: int = 4,
+    tracer: CommTracer | None = None,
+) -> SimilarityGraph:
+    """Convenience driver: run the SPMD pipeline on ``nranks`` simulated
+    ranks and assemble the global PSG.
+
+    ``nranks`` must be a perfect square (paper requirement).  The graph's
+    ``meta`` carries per-rank timing dissections — the data behind the
+    Fig. 15/16-style component plots — and total alignment counts.
+    """
+    config = config or PastisConfig()
+    fasta = store_to_fasta_bytes(store)
+    results: list[RankResult] = run_spmd(
+        nranks, pastis_rank, fasta, config, tracer=tracer
+    )
+    edges: list[tuple[int, int, float]] = []
+    for r in results:
+        edges.extend(r.edges)
+    graph = SimilarityGraph.from_edges(len(store), edges,
+                                       ids=list(store.ids))
+    graph.meta.update(
+        variant=config.variant_name,
+        nranks=nranks,
+        rank_timings=[r.timings for r in results],
+        aligned_pairs=sum(r.aligned_pairs for r in results),
+        candidate_pairs=sum(r.candidate_pairs for r in results),
+    )
+    return graph

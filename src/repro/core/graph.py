@@ -1,0 +1,107 @@
+"""The Protein Similarity Graph (PSG) produced by the pipeline.
+
+``G = (V, E)`` with ``V`` the sequences and an edge ``(i, j)`` for every
+pair that survived overlap detection, alignment, and the similarity filter;
+``w(i, j)`` is ANI or NS depending on the configuration (Section II /
+VI-B).  The PSG is what downstream clustering (MCL) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimilarityGraph"]
+
+
+@dataclass
+class SimilarityGraph:
+    """Weighted undirected graph over ``n`` sequences as edge arrays.
+
+    Edges are stored once with ``ri < rj``; ``meta`` carries free-form run
+    information (variant name, timings, alignment counts).
+    """
+
+    n: int
+    ri: np.ndarray
+    rj: np.ndarray
+    weights: np.ndarray
+    ids: list[str] | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.ri = np.asarray(self.ri, dtype=np.int64)
+        self.rj = np.asarray(self.rj, dtype=np.int64)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if not (len(self.ri) == len(self.rj) == len(self.weights)):
+            raise ValueError("edge arrays must have equal length")
+        if len(self.ri) and (
+            (self.ri >= self.rj).any()
+            or self.ri.min() < 0
+            or self.rj.max() >= self.n
+        ):
+            raise ValueError("edges must satisfy 0 <= ri < rj < n")
+
+    @property
+    def nedges(self) -> int:
+        return len(self.ri)
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: list[tuple[int, int, float]],
+        ids: list[str] | None = None,
+        meta: dict | None = None,
+    ) -> "SimilarityGraph":
+        """Build from ``(i, j, w)`` tuples in any order; (i, j) normalised
+        to i < j, duplicate edges keep the maximum weight."""
+        if not edges:
+            e = np.empty(0, dtype=np.int64)
+            return cls(n, e, e.copy(), np.empty(0), ids, meta or {})
+        arr = np.asarray([(min(i, j), max(i, j), w) for i, j, w in edges],
+                         dtype=np.float64)
+        ri = arr[:, 0].astype(np.int64)
+        rj = arr[:, 1].astype(np.int64)
+        w = arr[:, 2]
+        order = np.lexsort((-w, rj, ri))
+        ri, rj, w = ri[order], rj[order], w[order]
+        first = np.ones(len(ri), dtype=bool)
+        first[1:] = (ri[1:] != ri[:-1]) | (rj[1:] != rj[:-1])
+        return cls(n, ri[first], rj[first], w[first], ids, meta or {})
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        return {(int(a), int(b)) for a, b in zip(self.ri, self.rj)}
+
+    def to_scipy(self):
+        """Symmetric weighted adjacency as ``scipy.sparse.csr_matrix``."""
+        import scipy.sparse as sp
+
+        rows = np.concatenate((self.ri, self.rj))
+        cols = np.concatenate((self.rj, self.ri))
+        data = np.concatenate((self.weights, self.weights))
+        return sp.coo_matrix(
+            (data, (rows, cols)), shape=(self.n, self.n)
+        ).tocsr()
+
+    def to_networkx(self):
+        """Weighted ``networkx.Graph`` (node labels = sequence indices)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_weighted_edges_from(
+            (int(a), int(b), float(w))
+            for a, b, w in zip(self.ri, self.rj, self.weights)
+        )
+        return g
+
+    def degrees(self) -> np.ndarray:
+        deg = np.zeros(self.n, dtype=np.int64)
+        np.add.at(deg, self.ri, 1)
+        np.add.at(deg, self.rj, 1)
+        return deg
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SimilarityGraph(n={self.n}, edges={self.nedges})"

@@ -1,0 +1,495 @@
+"""Overlap detection: matrices ``A``/``S`` and candidate-pair extraction.
+
+Two interchangeable implementations of ``B = A Aᵀ`` / ``B = (A S) Aᵀ``:
+
+* :func:`find_candidate_pairs_semiring` — the literal formulation: build the
+  sparse matrices and run the generic semiring SpGEMM.  This is the
+  reference the distributed SUMMA path also uses.
+* :func:`find_candidate_pairs` — a NumPy join formulation of the same
+  computation (sort by k-mer, expand the per-k-mer cartesian products,
+  reduce by pair).  Orders of magnitude faster in pure Python; tests assert
+  it agrees with the semiring path.
+
+Both return :class:`CandidatePairs`: for every unordered sequence pair
+``(i < j)`` sharing at least one (substitute) k-mer, the shared count and up
+to :data:`~repro.core.semirings.MAX_SEEDS` seed positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bio.scoring import ScoringMatrix
+from ..bio.sequences import SequenceStore
+from ..kmers.encoding import kmer_space_size
+from ..kmers.extraction import store_kmers
+from ..kmers.substitutes import substitute_kmer_ids
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+from ..sparse.ops import triu
+from ..sparse.spgemm import spgemm_hash
+from .config import PastisConfig
+from .semirings import (
+    MAX_SEEDS,
+    CommonKmers,
+    exact_overlap_semiring,
+    substitute_as_semiring,
+    substitute_overlap_semiring,
+)
+
+__all__ = [
+    "CandidatePairs",
+    "build_a_triples",
+    "build_s_triples",
+    "find_candidate_pairs",
+    "find_candidate_pairs_semiring",
+    "symmetrize_candidates",
+]
+
+
+# ---------------------------------------------------------------------------
+# matrix construction
+# ---------------------------------------------------------------------------
+
+
+def build_a_triples(
+    store: SequenceStore, k: int, row_offset: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(row, kmer id, position)`` triples of matrix ``A`` for a store;
+    ``row_offset`` shifts rows to global sequence ids in the distributed
+    pipeline."""
+    rows, cols, vals = store_kmers(store, k)
+    return rows + row_offset, cols, vals
+
+
+def build_s_triples(
+    kmer_ids: np.ndarray,
+    k: int,
+    m: int,
+    scoring: ScoringMatrix,
+    restrict_to: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(kmer, substitute kmer, distance)`` triples of matrix ``S`` for the
+    given (unique) k-mer ids, identity included at distance 0.
+
+    ``restrict_to`` (sorted array) drops substitute columns for k-mers that
+    occur nowhere in the dataset — they cannot match anything in ``Aᵀ``, so
+    removing them changes no result while shrinking ``S``.
+    """
+    expense = scoring.expense_matrix()
+    rows: list[int] = []
+    cols: list[int] = []
+    dists: list[int] = []
+    for kid in np.unique(np.asarray(kmer_ids, dtype=np.int64)):
+        kid = int(kid)
+        rows.append(kid)
+        cols.append(kid)
+        dists.append(0)
+        if m > 0:
+            for sid, dist in substitute_kmer_ids(kid, k, m, expense, scoring):
+                rows.append(kid)
+                cols.append(sid)
+                dists.append(dist)
+    rows_a = np.asarray(rows, dtype=np.int64)
+    cols_a = np.asarray(cols, dtype=np.int64)
+    dists_a = np.asarray(dists, dtype=np.int64)
+    if restrict_to is not None and len(cols_a):
+        restrict_to = np.asarray(restrict_to, dtype=np.int64)
+        pos = np.searchsorted(restrict_to, cols_a)
+        pos = np.clip(pos, 0, len(restrict_to) - 1)
+        keep = restrict_to[pos] == cols_a
+        rows_a, cols_a, dists_a = rows_a[keep], cols_a[keep], dists_a[keep]
+    return rows_a, cols_a, dists_a
+
+
+# ---------------------------------------------------------------------------
+# results container
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CandidatePairs:
+    """Upper-triangle candidate pairs with shared counts and seeds.
+
+    ``seed_*`` arrays have shape ``(npairs, MAX_SEEDS)``; unused slots hold
+    -1.  ``seed_pos_i[p, s]`` is the seed start on sequence ``ri[p]``.
+    """
+
+    n: int
+    ri: np.ndarray
+    rj: np.ndarray
+    counts: np.ndarray
+    seed_pos_i: np.ndarray
+    seed_pos_j: np.ndarray
+    seed_dist: np.ndarray
+
+    @property
+    def npairs(self) -> int:
+        return len(self.ri)
+
+    def apply_ck_threshold(self, t: int | None) -> "CandidatePairs":
+        """Drop pairs sharing ``t`` or fewer k-mers (the CK variant)."""
+        if t is None:
+            return self
+        keep = self.counts > t
+        return CandidatePairs(
+            self.n, self.ri[keep], self.rj[keep], self.counts[keep],
+            self.seed_pos_i[keep], self.seed_pos_j[keep],
+            self.seed_dist[keep],
+        )
+
+    def seeds_of(self, p: int) -> list[tuple[int, int]]:
+        """Valid ``(pos_i, pos_j)`` seed pairs of pair index ``p``."""
+        out = []
+        for s in range(self.seed_pos_i.shape[1]):
+            if self.seed_pos_i[p, s] >= 0:
+                out.append(
+                    (int(self.seed_pos_i[p, s]), int(self.seed_pos_j[p, s]))
+                )
+        return out
+
+    def pair_set(self) -> set[tuple[int, int]]:
+        return {
+            (int(a), int(b)) for a, b in zip(self.ri, self.rj)
+        }
+
+    def sort(self) -> "CandidatePairs":
+        order = np.lexsort((self.rj, self.ri))
+        return CandidatePairs(
+            self.n, self.ri[order], self.rj[order], self.counts[order],
+            self.seed_pos_i[order], self.seed_pos_j[order],
+            self.seed_dist[order],
+        )
+
+
+def _pairs_from_records(
+    n: int,
+    ri: np.ndarray,
+    rj: np.ndarray,
+    pos_i: np.ndarray,
+    pos_j: np.ndarray,
+    dist: np.ndarray,
+) -> CandidatePairs:
+    """Group per-hit records by unordered pair: counts plus the MAX_SEEDS
+    lowest-distance seeds."""
+    if len(ri) == 0:
+        e = np.empty(0, dtype=np.int64)
+        return CandidatePairs(
+            n, e, e.copy(), e.copy(),
+            np.empty((0, MAX_SEEDS), dtype=np.int64),
+            np.empty((0, MAX_SEEDS), dtype=np.int64),
+            np.empty((0, MAX_SEEDS), dtype=np.int64),
+        )
+    order = np.lexsort((pos_j, pos_i, dist, rj, ri))
+    ri, rj = ri[order], rj[order]
+    pos_i, pos_j, dist = pos_i[order], pos_j[order], dist[order]
+    key = ri * n + rj
+    uniq, starts, counts = np.unique(key, return_index=True,
+                                     return_counts=True)
+    npairs = len(uniq)
+    spos_i = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
+    spos_j = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
+    sdist = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
+    for s in range(MAX_SEEDS):
+        has = counts > s
+        at = starts[has] + s
+        spos_i[has, s] = pos_i[at]
+        spos_j[has, s] = pos_j[at]
+        sdist[has, s] = dist[at]
+    return CandidatePairs(
+        n, uniq // n, uniq % n, counts.astype(np.int64),
+        spos_i, spos_j, sdist,
+    )
+
+
+# ---------------------------------------------------------------------------
+# vectorized fast path
+# ---------------------------------------------------------------------------
+
+
+def _cartesian_by_group(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Indices ``(li, ri)`` of the per-key cartesian product of two sorted
+    key arrays (the expansion step of a sort-merge join)."""
+    shared = np.intersect1d(left_keys, right_keys)
+    if len(shared) == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy()
+    l_start = np.searchsorted(left_keys, shared, side="left")
+    l_end = np.searchsorted(left_keys, shared, side="right")
+    r_start = np.searchsorted(right_keys, shared, side="left")
+    r_end = np.searchsorted(right_keys, shared, side="right")
+    l_cnt = l_end - l_start
+    r_cnt = r_end - r_start
+    sizes = l_cnt * r_cnt
+    total = int(sizes.sum())
+    if total == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy()
+    # linear index within each group's product
+    grp = np.repeat(np.arange(len(shared)), sizes)
+    offs = np.concatenate(([0], np.cumsum(sizes)))[:-1]
+    lin = np.arange(total, dtype=np.int64) - offs[grp]
+    li = l_start[grp] + lin // r_cnt[grp]
+    ri = r_start[grp] + lin % r_cnt[grp]
+    return li, ri
+
+
+def _exact_hits(
+    rows: np.ndarray, cols: np.ndarray, pos: np.ndarray
+) -> tuple[np.ndarray, ...]:
+    """Per-hit records (ri, rj, pos_i, pos_j, dist=0) of exact matching."""
+    order = np.argsort(cols, kind="stable")
+    rows_s, pos_s = rows[order], pos[order]
+    keys = cols[order]
+    li, rix = _cartesian_by_group(keys, keys)
+    keep = rows_s[li] < rows_s[rix]
+    li, rix = li[keep], rix[keep]
+    return (
+        rows_s[li], rows_s[rix], pos_s[li], pos_s[rix],
+        np.zeros(len(li), dtype=np.int64),
+    )
+
+
+def _expand_substitutes(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    pos: np.ndarray,
+    s_rows: np.ndarray,
+    s_cols: np.ndarray,
+    s_dist: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``AS`` triples (row, substitute kmer, position, distance): join ``A``
+    hits with ``S`` rows, then keep the closest k-mer per (row, substitute)
+    — the AS semiring's min-distance add."""
+    a_order = np.argsort(cols, kind="stable")
+    s_order = np.argsort(s_rows, kind="stable")
+    li, ri = _cartesian_by_group(cols[a_order], s_rows[s_order])
+    rw = rows[a_order][li]
+    sub = s_cols[s_order][ri]
+    ps = pos[a_order][li]
+    ds = s_dist[s_order][ri]
+    if len(rw) == 0:
+        return rw, sub, ps, ds
+    # reduce by (row, sub): min (dist, pos)
+    order = np.lexsort((ps, ds, sub, rw))
+    rw, sub, ps, ds = rw[order], sub[order], ps[order], ds[order]
+    first = np.ones(len(rw), dtype=bool)
+    first[1:] = (rw[1:] != rw[:-1]) | (sub[1:] != sub[:-1])
+    return rw[first], sub[first], ps[first], ds[first]
+
+
+def find_candidate_pairs(
+    store: SequenceStore,
+    config: PastisConfig,
+    s_triples: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> CandidatePairs:
+    """Vectorized overlap detection for a whole store.
+
+    With ``config.substitutes == 0`` this is ``A Aᵀ``; otherwise
+    ``(A S) Aᵀ`` followed by the symmetrization merge (the direction with
+    the larger shared count wins, forward on ties).  ``s_triples`` allows
+    reusing a precomputed ``S``.
+    """
+    n = len(store)
+    rows, cols, pos = build_a_triples(store, config.k)
+    if config.substitutes == 0:
+        recs = _exact_hits(rows, cols, pos)
+        return _pairs_from_records(n, *recs)
+
+    if s_triples is None:
+        present = np.unique(cols)
+        s_triples = build_s_triples(
+            present, config.k, config.substitutes, config.scoring,
+            restrict_to=present,
+        )
+    s_rows, s_cols, s_dist = s_triples
+    as_row, as_sub, as_pos, as_dist = _expand_substitutes(
+        rows, cols, pos, s_rows, s_cols, s_dist
+    )
+    # join AS (by substitute) against A (by exact kmer)
+    l_order = np.argsort(as_sub, kind="stable")
+    r_order = np.argsort(cols, kind="stable")
+    li, ri = _cartesian_by_group(as_sub[l_order], cols[r_order])
+    src = as_row[l_order][li]
+    dst = rows[r_order][ri]
+    keep = src != dst
+    li, ri = li[keep], ri[keep]
+    src, dst = src[keep], dst[keep]
+    p_i = as_pos[l_order][li]
+    p_j = pos[r_order][ri]
+    d = as_dist[l_order][li]
+
+    # Directed pair statistics, then the symmetrization merge.  Within each
+    # directed group, seeds follow the canonical CommonKmers order
+    # (distance, AS-side position, exact-side position).
+    fwd = src < dst
+    lo = np.where(fwd, src, dst)
+    hi = np.where(fwd, dst, src)
+    dirflag = (~fwd).astype(np.int64)
+    order = np.lexsort((p_j, p_i, d, dirflag, hi, lo))
+    lo, hi = lo[order], hi[order]
+    p_i, p_j, d, dirflag = p_i[order], p_j[order], d[order], dirflag[order]
+    fwd = dirflag == 0
+    pos_lo = np.where(fwd, p_i, p_j)
+    pos_hi = np.where(fwd, p_j, p_i)
+    key = (lo * n + hi) * 2 + dirflag
+    uniq, starts, counts = np.unique(
+        key, return_index=True, return_counts=True
+    )
+    pairkey = uniq // 2
+    # choose, per unordered pair, the direction with the larger count
+    # (forward preferred on ties — matches the symmetrize merge order)
+    best: dict[int, int] = {}
+    for g in range(len(uniq)):
+        pk = int(pairkey[g])
+        prev = best.get(pk)
+        if (
+            prev is None
+            or counts[g] > counts[prev]
+            or (counts[g] == counts[prev] and (uniq[g] % 2) < (uniq[prev] % 2))
+        ):
+            best[pk] = g
+    sel = sorted(best.values(), key=lambda g: int(pairkey[g]))
+    npairs = len(sel)
+    ri_out = np.empty(npairs, dtype=np.int64)
+    rj_out = np.empty(npairs, dtype=np.int64)
+    cnt_out = np.empty(npairs, dtype=np.int64)
+    spos_i = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
+    spos_j = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
+    sdist = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
+    for out, g in enumerate(sel):
+        pk = int(pairkey[g])
+        ri_out[out] = pk // n
+        rj_out[out] = pk % n
+        cnt_out[out] = counts[g]
+        for s in range(min(MAX_SEEDS, int(counts[g]))):
+            at = starts[g] + s
+            spos_i[out, s] = pos_lo[at]
+            spos_j[out, s] = pos_hi[at]
+            sdist[out, s] = d[at]
+    return CandidatePairs(n, ri_out, rj_out, cnt_out, spos_i, spos_j, sdist)
+
+
+# ---------------------------------------------------------------------------
+# symmetrization of B (shared by the semiring and distributed paths)
+# ---------------------------------------------------------------------------
+
+
+def symmetrize_candidates(
+    b: COOMatrix, row_offset: int = 0, col_offset: int = 0
+) -> COOMatrix:
+    """``B ∪ Bᵀ`` for :class:`~repro.core.semirings.CommonKmers` values,
+    with seed orientation corrected on the transposed copies.
+
+    Where both directions produced an entry, the one with the larger shared
+    count wins; on ties the *forward* direction — the one whose substitutes
+    were expanded from the smaller global sequence id — wins, making the
+    result canonical regardless of evaluation order.  ``row_offset`` /
+    ``col_offset`` translate block-local coordinates to global ids for the
+    distributed pipeline (the tie-break needs global ids).
+
+    Offsets must be equal-shaped translations of the same square matrix; for
+    a distributed block they are the block's global row/column starts and
+    the transposed partner block supplies the mirrored entries before this
+    merge (see :mod:`repro.core.distributed`).
+    """
+
+    def wrap(coo: COOMatrix, roff: int, flipped: bool) -> COOMatrix:
+        vals = np.empty(coo.nnz, dtype=object)
+        for t in range(coo.nnz):
+            v = coo.vals[t]
+            if flipped:
+                v = v.flip()
+            # as_side = global id of the sequence whose substitutes were
+            # expanded (the AS-side row of the original directed entry)
+            vals[t] = (int(coo.rows[t]) + roff if not flipped
+                       else int(coo.cols[t]) + roff, v)
+        return COOMatrix(coo.nrows, coo.ncols, coo.rows, coo.cols, vals)
+
+    fwd = wrap(b, row_offset, flipped=False)
+    bwd_t = b.transpose()
+    bwd = wrap(bwd_t, col_offset, flipped=True)
+    # NOTE: after transpose, bwd rows live in b's column space; when b is a
+    # square diagonal entity (single process or diagonal block) the spaces
+    # coincide.  Distributed off-diagonal blocks must not use this helper
+    # directly on one block — they merge against the mirrored block instead.
+    merged = COOMatrix(
+        b.nrows,
+        b.ncols,
+        np.concatenate((fwd.rows, bwd.rows)),
+        np.concatenate((fwd.cols, bwd.cols)),
+        np.concatenate((fwd.vals, bwd.vals)),
+    )
+
+    def pick(x, y):
+        (sx, cx), (sy, cy) = x, y
+        if cx.count != cy.count:
+            return x if cx.count > cy.count else y
+        return x if sx <= sy else y
+
+    out = merged.sum_duplicates(pick)
+    return out.map_values(lambda v: v[1])
+
+
+# ---------------------------------------------------------------------------
+# semiring reference path
+# ---------------------------------------------------------------------------
+
+
+def _compact_columns(cols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Relabel k-mer ids to dense column indices; returns (dense, vocab)."""
+    vocab, dense = np.unique(cols, return_inverse=True)
+    return dense, vocab
+
+
+def find_candidate_pairs_semiring(
+    store: SequenceStore,
+    config: PastisConfig,
+) -> CandidatePairs:
+    """Reference overlap detection through the PASTIS semirings and the
+    generic hash SpGEMM — slow, but a direct transcription of the paper's
+    matrix formulation.  Used to validate the vectorized path."""
+    n = len(store)
+    rows, cols, pos = build_a_triples(store, config.k)
+    dense_cols, vocab = _compact_columns(cols)
+    nk = len(vocab)
+    a = CSRMatrix.from_coo(COOMatrix(n, max(nk, 1), rows, dense_cols, pos))
+    at = a.transpose()
+    if config.substitutes == 0:
+        b = spgemm_hash(a, at, exact_overlap_semiring())
+    else:
+        s_rows, s_cols, s_dist = build_s_triples(
+            vocab, config.k, config.substitutes, config.scoring,
+            restrict_to=vocab,
+        )
+        sr = np.searchsorted(vocab, s_rows)
+        sc = np.searchsorted(vocab, s_cols)
+        s = CSRMatrix.from_coo(
+            COOMatrix(max(nk, 1), max(nk, 1), sr, sc, s_dist)
+        )
+        a_s = spgemm_hash(a, s, substitute_as_semiring())
+        b = spgemm_hash(
+            CSRMatrix.from_coo(a_s), at, substitute_overlap_semiring()
+        )
+        b = symmetrize_candidates(b)
+    upper = triu(b, k=1)
+    ri = upper.rows
+    rj = upper.cols
+    npairs = upper.nnz
+    counts = np.empty(npairs, dtype=np.int64)
+    spos_i = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
+    spos_j = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
+    sdist = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
+    for p, v in enumerate(upper.vals):
+        assert isinstance(v, CommonKmers)
+        counts[p] = v.count
+        for s, (pi, pj, dd) in enumerate(v.seeds[:MAX_SEEDS]):
+            spos_i[p, s] = pi
+            spos_j[p, s] = pj
+            sdist[p, s] = dd
+    out = CandidatePairs(n, ri, rj, counts, spos_i, spos_j, sdist)
+    return out.sort()

@@ -1,0 +1,112 @@
+"""Single-process PASTIS pipeline (Fig. 1): overlap -> align -> filter.
+
+This is the whole algorithm with the distribution stripped away; the
+distributed pipeline in :mod:`repro.core.distributed` produces exactly the
+same graph (a tested invariant — the paper stresses that PASTIS's output is
+"oblivious to the number of processes").
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..align.batch import AlignmentTask, align_batch
+from ..align.stats import AlignmentResult, passes_filter
+from ..bio.sequences import SequenceStore
+from .config import PastisConfig
+from .graph import SimilarityGraph
+from .overlap import CandidatePairs, find_candidate_pairs
+from ..sparse.coo import COOMatrix
+
+__all__ = ["pastis_pipeline", "align_candidates", "edge_weight"]
+
+
+def edge_weight(result: AlignmentResult, config: PastisConfig) -> float:
+    """ANI (identity fraction) or NS (normalized raw score) per config."""
+    if config.weight == "ani":
+        return result.identity
+    return result.normalized_score
+
+
+def align_candidates(
+    store: SequenceStore,
+    pairs: CandidatePairs,
+    config: PastisConfig,
+) -> tuple[list[tuple[int, int, float]], int]:
+    """Align candidate pairs, apply the similarity filter, and return the
+    surviving ``(i, j, weight)`` edges plus the number of alignments run."""
+    tasks = []
+    for p in range(pairs.npairs):
+        i, j = int(pairs.ri[p]), int(pairs.rj[p])
+        tasks.append(
+            AlignmentTask(
+                a=store.encoded(i),
+                b=store.encoded(j),
+                seeds=tuple(pairs.seeds_of(p)),
+                pair=(i, j),
+            )
+        )
+    results = align_batch(
+        tasks,
+        mode=config.align_mode,
+        k=config.k,
+        scoring=config.scoring,
+        gap_open=config.gap_open,
+        gap_extend=config.gap_extend,
+        xdrop=config.xdrop,
+        traceback=True,
+        threads=config.align_threads,
+    )
+    edges: list[tuple[int, int, float]] = []
+    for task, res in zip(tasks, results):
+        if config.uses_filter and not passes_filter(
+            res, config.min_identity, config.min_coverage
+        ):
+            continue
+        w = edge_weight(res, config)
+        if w <= 0:
+            continue
+        edges.append((task.pair[0], task.pair[1], w))
+    return edges, len(tasks)
+
+
+def pastis_pipeline(
+    store: SequenceStore,
+    config: PastisConfig | None = None,
+) -> SimilarityGraph:
+    """Run the full pipeline on a sequence store.
+
+    The returned graph's ``meta`` records the variant name, per-stage wall
+    times (``overlap``, ``align``), candidate/alignment counts, and the
+    number of edges kept.
+    """
+    config = config or PastisConfig()
+    t0 = time.perf_counter()
+    pairs = find_candidate_pairs(store, config)
+    pairs_before_ck = pairs.npairs
+    pairs = pairs.apply_ck_threshold(config.common_kmer_threshold)
+    t1 = time.perf_counter()
+    edges, naligned = align_candidates(store, pairs, config)
+    t2 = time.perf_counter()
+    graph = SimilarityGraph.from_edges(
+        len(store), edges, ids=list(store.ids)
+    )
+    graph.meta.update(
+        variant=config.variant_name,
+        overlap_seconds=t1 - t0,
+        align_seconds=t2 - t1,
+        candidate_pairs=pairs_before_ck,
+        aligned_pairs=naligned,
+        edges_kept=graph.nedges,
+    )
+    return graph
+
+
+def candidate_matrix(pairs: CandidatePairs) -> COOMatrix:
+    """The (strictly upper triangular) pattern of ``B`` as a COO matrix of
+    shared-k-mer counts — handy for inspection and tests."""
+    return COOMatrix(
+        pairs.n, pairs.n, pairs.ri, pairs.rj, pairs.counts.astype(object)
+    )

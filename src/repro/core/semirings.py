@@ -1,0 +1,118 @@
+"""PASTIS's custom semirings (paper Sections IV-A and IV-C).
+
+Matrix values:
+
+* ``A[i, t]``   — starting position (int) of k-mer ``t`` in sequence ``i``;
+* ``S[t, u]``   — substitution distance (int) from k-mer ``t`` to its
+  substitute ``u`` (0 on the diagonal);
+* ``AS[i, u]``  — :class:`SeedHit` ``(position, distance)``: where the
+  closest k-mer of sequence ``i`` mapping to substitute ``u`` starts.  When
+  several k-mers of the sequence share the substitute, the *closest* one
+  (minimum distance) wins — the paper's AS semiring;
+* ``B[i, j]``   — :class:`CommonKmers`: the number of shared (substitute)
+  k-mers plus up to ``MAX_SEEDS`` seed pairs, each ``(pos_i, pos_j,
+  distance)``, kept in ascending distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sparse.semiring import Semiring
+
+__all__ = [
+    "SeedHit",
+    "CommonKmers",
+    "MAX_SEEDS",
+    "exact_overlap_semiring",
+    "substitute_as_semiring",
+    "substitute_overlap_semiring",
+    "merge_common_kmers",
+]
+
+#: "Currently, a maximum of two shared k-mer locations per sequence pair are
+#: kept out of all such possible pairs." (Section IV-A)
+MAX_SEEDS = 2
+
+
+@dataclass(frozen=True)
+class SeedHit:
+    """An ``AS`` value: seed position on the sequence plus the substitution
+    distance of the k-mer that produced it."""
+
+    position: int
+    distance: int
+
+
+@dataclass(frozen=True)
+class CommonKmers:
+    """A ``B`` value: shared-k-mer count and up to ``MAX_SEEDS`` seed pairs
+    ``(pos_row, pos_col, distance)``.
+
+    Seeds are kept in the canonical order ``(distance, pos_row, pos_col)``
+    ascending; because the order is total and consistent, incremental
+    merging retains exactly the global top-``MAX_SEEDS`` — which makes the
+    pipeline output independent of accumulation order (and hence of the
+    process count, the paper's reproducibility claim)."""
+
+    count: int
+    seeds: tuple[tuple[int, int, int], ...]
+
+    def merge(self, other: "CommonKmers") -> "CommonKmers":
+        seeds = sorted(
+            self.seeds + other.seeds, key=lambda s: (s[2], s[0], s[1])
+        )
+        return CommonKmers(
+            count=self.count + other.count,
+            seeds=tuple(seeds[:MAX_SEEDS]),
+        )
+
+    def flip(self) -> "CommonKmers":
+        """Orientation for the transposed coordinate: swap the row/column
+        roles of every seed (needed whenever ``Bᵀ`` values are reused)."""
+        seeds = sorted(
+            ((pj, pi, d) for (pi, pj, d) in self.seeds),
+            key=lambda s: (s[2], s[0], s[1]),
+        )
+        return CommonKmers(count=self.count, seeds=tuple(seeds))
+
+
+def merge_common_kmers(a: CommonKmers, b: CommonKmers) -> CommonKmers:
+    """Semiring add for ``B``."""
+    return a.merge(b)
+
+
+def exact_overlap_semiring() -> Semiring:
+    """``B = A Aᵀ`` (Fig. 4): multiply pairs the two seed positions of the
+    shared k-mer (distance 0); add accumulates count and best seeds."""
+
+    def mul(pos_r, pos_c) -> CommonKmers:
+        return CommonKmers(1, ((int(pos_r), int(pos_c), 0),))
+
+    return Semiring("pastis_exact_overlap", merge_common_kmers, mul)
+
+
+def substitute_as_semiring() -> Semiring:
+    """``AS`` (Section IV-C): multiply attaches the substitution distance to
+    the seed position; add keeps the closest k-mer when a substitute is
+    reachable from several k-mers of the same sequence."""
+
+    def mul(pos, dist) -> SeedHit:
+        return SeedHit(int(pos), int(dist))
+
+    def add(x: SeedHit, y: SeedHit) -> SeedHit:
+        if (y.distance, y.position) < (x.distance, x.position):
+            return y
+        return x
+
+    return Semiring("pastis_as", add, mul)
+
+
+def substitute_overlap_semiring() -> Semiring:
+    """``(A S) Aᵀ``: multiply combines a :class:`SeedHit` from ``AS`` with
+    the exact position from ``Aᵀ``; add is the same count/seed merge."""
+
+    def mul(hit: SeedHit, pos_c) -> CommonKmers:
+        return CommonKmers(1, ((hit.position, int(pos_c), hit.distance),))
+
+    return Semiring("pastis_substitute_overlap", merge_common_kmers, mul)

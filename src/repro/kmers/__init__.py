@@ -1,0 +1,38 @@
+"""K-mer machinery: base-24 encoding, extraction, the min-max heap, and the
+m-nearest substitute k-mer search of paper Algorithms 1-3."""
+
+from .encoding import (
+    MAX_K,
+    decode_kmer,
+    encode_kmer,
+    kmer_id_from_string,
+    kmer_space_size,
+    kmer_string_from_id,
+)
+from .extraction import sequence_kmers, store_kmers, unique_sequence_kmers
+from .minmaxheap import MinMaxHeap
+from .substitutes import (
+    SubstituteKmer,
+    brute_force_substitutes,
+    find_substitute_kmers,
+    kmer_distance,
+    substitute_kmer_ids,
+)
+
+__all__ = [
+    "MAX_K",
+    "decode_kmer",
+    "encode_kmer",
+    "kmer_id_from_string",
+    "kmer_space_size",
+    "kmer_string_from_id",
+    "sequence_kmers",
+    "store_kmers",
+    "unique_sequence_kmers",
+    "MinMaxHeap",
+    "SubstituteKmer",
+    "brute_force_substitutes",
+    "find_substitute_kmers",
+    "kmer_distance",
+    "substitute_kmer_ids",
+]

@@ -1,0 +1,70 @@
+"""Base-24 k-mer identifiers (paper Section V-B).
+
+Each base is indexed 0..23 in alphabet order and a k-mer gets the id
+``sum(b * 24^i)`` where ``i`` is the zero-based position of the base *from
+right to left*.  Example from the paper: under ``ARNDCQEGHILKMFPSTWYVBZX*``,
+the 3-mer ``RCQ`` has id ``1*24^2 + 4*24 + 5 = 677``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bio.alphabet import ALPHABET_SIZE, BASE_TO_INDEX, PROTEIN_ALPHABET
+
+__all__ = [
+    "kmer_space_size",
+    "encode_kmer",
+    "decode_kmer",
+    "kmer_id_from_string",
+    "kmer_string_from_id",
+    "MAX_K",
+]
+
+#: Largest k for which ids fit comfortably in int64 (24^13 < 2^63).
+MAX_K = 13
+
+
+def kmer_space_size(k: int) -> int:
+    """``|Sigma|^k`` — the number of possible k-mers."""
+    _check_k(k)
+    return ALPHABET_SIZE**k
+
+
+def _check_k(k: int) -> None:
+    if not 1 <= k <= MAX_K:
+        raise ValueError(f"k must be in [1, {MAX_K}], got {k}")
+
+
+def encode_kmer(indices: np.ndarray) -> int:
+    """Id of a k-mer given as an array of alphabet indices."""
+    arr = np.asarray(indices, dtype=np.int64)
+    _check_k(len(arr))
+    if arr.size and (arr.min() < 0 or arr.max() >= ALPHABET_SIZE):
+        raise ValueError("alphabet index out of range")
+    kid = 0
+    for b in arr:
+        kid = kid * ALPHABET_SIZE + int(b)
+    return kid
+
+
+def decode_kmer(kid: int, k: int) -> np.ndarray:
+    """Alphabet-index array of the k-mer with id ``kid``."""
+    _check_k(k)
+    if not 0 <= kid < ALPHABET_SIZE**k:
+        raise ValueError("k-mer id out of range")
+    out = np.empty(k, dtype=np.int8)
+    for i in range(k - 1, -1, -1):
+        out[i] = kid % ALPHABET_SIZE
+        kid //= ALPHABET_SIZE
+    return out
+
+
+def kmer_id_from_string(kmer: str) -> int:
+    """Id of a k-mer given as a protein string."""
+    return encode_kmer(np.array([BASE_TO_INDEX[c] for c in kmer], dtype=np.int64))
+
+
+def kmer_string_from_id(kid: int, k: int) -> str:
+    """Protein string of the k-mer with id ``kid``."""
+    return "".join(PROTEIN_ALPHABET[i] for i in decode_kmer(kid, k))

@@ -1,0 +1,67 @@
+"""Vectorised extraction of k-mer ids and starting positions from sequences.
+
+A protein of length L contributes its L-k+1 overlapping k-mers (Section
+IV-C).  PASTIS stores the *starting position* of each k-mer as the matrix
+value (Section IV-A); when a k-mer occurs several times in one sequence we
+keep the first (lowest) position, matching one-nonzero-per-(row, column).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bio.alphabet import ALPHABET_SIZE
+from ..bio.sequences import SequenceStore
+from .encoding import _check_k
+
+__all__ = ["sequence_kmers", "unique_sequence_kmers", "store_kmers"]
+
+
+def sequence_kmers(encoded: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """All k-mer ids of an encoded sequence with their start positions.
+
+    Returns ``(ids, positions)`` of length ``max(L - k + 1, 0)``; duplicates
+    are retained in sequence order.
+    """
+    _check_k(k)
+    seq = np.asarray(encoded, dtype=np.int64)
+    n = len(seq) - k + 1
+    if n <= 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    # Rolling base-24 evaluation: ids[p] = sum seq[p + j] * 24^(k-1-j)
+    weights = ALPHABET_SIZE ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(seq, k)
+    ids = windows @ weights
+    return ids, np.arange(n, dtype=np.int64)
+
+
+def unique_sequence_kmers(
+    encoded: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct k-mer ids of a sequence with the first start position of
+    each (the matrix entries of one row of A)."""
+    ids, pos = sequence_kmers(encoded, k)
+    if ids.size == 0:
+        return ids, pos
+    # np.unique returns the first occurrence index for sorted unique values.
+    uniq, first = np.unique(ids, return_index=True)
+    return uniq, pos[first]
+
+
+def store_kmers(
+    store: SequenceStore, k: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """COO triples ``(row, kmer_id, position)`` for every sequence of a
+    store — the raw ingredients of matrix ``A``."""
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    for i in range(len(store)):
+        ids, pos = unique_sequence_kmers(store.encoded(i), k)
+        rows.append(np.full(len(ids), i, dtype=np.int64))
+        cols.append(ids)
+        vals.append(pos)
+    if not rows:
+        z = np.empty(0, dtype=np.int64)
+        return z, z.copy(), z.copy()
+    return np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)

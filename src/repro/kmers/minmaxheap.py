@@ -1,0 +1,212 @@
+"""Min-max heap (Atkinson et al. 1986).
+
+The substitute-k-mer search of the paper (Algorithms 1-3) maintains its
+current m-nearest-neighbour list in a min-max heap: ``FINDMIN``/``FINDMAX``
+are O(1) while insertion and extraction from either end are O(log m).  This
+is a faithful array-based implementation supporting arbitrary comparable
+keys with attached values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+__all__ = ["MinMaxHeap"]
+
+
+def _level_is_min(i: int) -> bool:
+    """True when array index ``i`` sits on a min (even) level."""
+    return ((i + 1).bit_length() - 1) % 2 == 0
+
+
+class MinMaxHeap:
+    """A double-ended priority queue over ``(key, value)`` items.
+
+    Supports ``push``, O(1) ``find_min``/``find_max``, and O(log n)
+    ``pop_min``/``pop_max``.  An optional ``capacity`` turns it into the
+    bounded m-nearest buffer of Algorithm 3: ``push_bounded`` keeps only the
+    ``capacity`` smallest keys, evicting the current max.
+    """
+
+    __slots__ = ("_a", "capacity")
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Any, Any]] = (),
+        capacity: int | None = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._a: list[tuple[Any, Any]] = []
+        for key, value in items:
+            if capacity is None:
+                self.push(key, value)
+            else:
+                self.push_bounded(key, value)
+
+    # -- basic queries -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._a)
+
+    def __bool__(self) -> bool:
+        return bool(self._a)
+
+    def is_full(self) -> bool:
+        """True when a capacity is set and reached (``ISFULL`` in paper)."""
+        return self.capacity is not None and len(self._a) >= self.capacity
+
+    def find_min(self) -> tuple[Any, Any]:
+        """Smallest-key item (``FINDMIN``)."""
+        if not self._a:
+            raise IndexError("find_min on empty heap")
+        return self._a[0]
+
+    def find_max(self) -> tuple[Any, Any]:
+        """Largest-key item (``FINDMAX``)."""
+        a = self._a
+        if not a:
+            raise IndexError("find_max on empty heap")
+        if len(a) == 1:
+            return a[0]
+        if len(a) == 2:
+            return a[1]
+        return a[1] if a[1][0] >= a[2][0] else a[2]
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All items in arbitrary (heap) order."""
+        return iter(list(self._a))
+
+    def keys_sorted(self) -> list[Any]:
+        """All keys, ascending (non-destructive; O(n log n))."""
+        return sorted(k for k, _ in self._a)
+
+    # -- updates -----------------------------------------------------------
+
+    def push(self, key: Any, value: Any = None) -> None:
+        """Insert an item (unbounded)."""
+        a = self._a
+        a.append((key, value))
+        self._bubble_up(len(a) - 1)
+
+    def push_bounded(self, key: Any, value: Any = None) -> bool:
+        """Algorithm-3 insertion: keep only the ``capacity`` smallest keys.
+
+        Returns True when the item was retained.  Requires a capacity.
+        """
+        if self.capacity is None:
+            raise ValueError("push_bounded requires a capacity")
+        if len(self._a) < self.capacity:
+            self.push(key, value)
+            return True
+        if key >= self.find_max()[0]:
+            return False
+        self.pop_max()
+        self.push(key, value)
+        return True
+
+    def pop_min(self) -> tuple[Any, Any]:
+        """Remove and return the smallest-key item (``EXTRACTMIN``)."""
+        a = self._a
+        if not a:
+            raise IndexError("pop_min on empty heap")
+        top = a[0]
+        last = a.pop()
+        if a:
+            a[0] = last
+            self._trickle_down(0)
+        return top
+
+    def pop_max(self) -> tuple[Any, Any]:
+        """Remove and return the largest-key item (``EXTRACTMAX``)."""
+        a = self._a
+        if not a:
+            raise IndexError("pop_max on empty heap")
+        if len(a) <= 2:
+            return a.pop()
+        mi = 1 if a[1][0] >= a[2][0] else 2
+        top = a[mi]
+        last = a.pop()
+        if mi < len(a):
+            a[mi] = last
+            self._trickle_down(mi)
+        return top
+
+    # -- internals ---------------------------------------------------------
+
+    def _bubble_up(self, i: int) -> None:
+        a = self._a
+        if i == 0:
+            return
+        parent = (i - 1) >> 1
+        if _level_is_min(i):
+            if a[i][0] > a[parent][0]:
+                a[i], a[parent] = a[parent], a[i]
+                self._bubble_up_dir(parent, is_min=False)
+            else:
+                self._bubble_up_dir(i, is_min=True)
+        else:
+            if a[i][0] < a[parent][0]:
+                a[i], a[parent] = a[parent], a[i]
+                self._bubble_up_dir(parent, is_min=True)
+            else:
+                self._bubble_up_dir(i, is_min=False)
+
+    def _bubble_up_dir(self, i: int, is_min: bool) -> None:
+        a = self._a
+        while i >= 3:
+            gp = ((i - 1) >> 1) - 1 >> 1
+            if is_min:
+                if a[i][0] < a[gp][0]:
+                    a[i], a[gp] = a[gp], a[i]
+                    i = gp
+                else:
+                    break
+            else:
+                if a[i][0] > a[gp][0]:
+                    a[i], a[gp] = a[gp], a[i]
+                    i = gp
+                else:
+                    break
+
+    def _smallest_descendant(self, i: int, want_min: bool) -> int:
+        """Index of the extreme child/grandchild of ``i``."""
+        a = self._a
+        n = len(a)
+        best = -1
+        for c in (2 * i + 1, 2 * i + 2):
+            if c < n and (
+                best == -1
+                or (a[c][0] < a[best][0] if want_min else a[c][0] > a[best][0])
+            ):
+                best = c
+        for c in (2 * i + 1, 2 * i + 2):
+            for g in (2 * c + 1, 2 * c + 2):
+                if g < n and (
+                    a[g][0] < a[best][0] if want_min else a[g][0] > a[best][0]
+                ):
+                    best = g
+        return best
+
+    def _trickle_down(self, i: int) -> None:
+        want_min = _level_is_min(i)
+        a = self._a
+        while True:
+            if 2 * i + 1 >= len(a):
+                return
+            m = self._smallest_descendant(i, want_min)
+            better = a[m][0] < a[i][0] if want_min else a[m][0] > a[i][0]
+            if not better:
+                return
+            a[i], a[m] = a[m], a[i]
+            if m <= 2 * i + 2:
+                return  # m was a direct child — done
+            # m was a grandchild: fix the intermediate parent, then recurse.
+            parent = (m - 1) >> 1
+            violates = (
+                a[m][0] > a[parent][0] if want_min else a[m][0] < a[parent][0]
+            )
+            if violates:
+                a[m], a[parent] = a[parent], a[m]
+            i = m

@@ -1,0 +1,179 @@
+"""m-nearest substitute k-mers (paper Section IV-B, Algorithms 1-3).
+
+Given a k-mer ``r`` and a scoring matrix ``C``, the *distance* (expense) of a
+candidate k-mer ``q`` is ``sum_i (C[r_i, r_i] - C[r_i, q_i])`` — the score
+lost when ``q`` appears in place of ``r``.  PASTIS takes the ``m`` candidates
+with the smallest distance; these may be several substitutions away (the
+paper's AAC example, where two cheap substitutions beat one expensive one).
+
+Like the paper we pre-sort each alphabet row of the expense matrix
+``E = SORT(DIAG(C) - C)`` once, then explore the implicit substitution tree
+best-first, expanding candidates in increasing total distance and stopping
+after ``m`` emissions — a Dijkstra-style search over an acyclic implicit
+graph, exactly the structure of Algorithms 1-3.  We formulate the frontier as
+index vectors into the k per-position sorted option lists (one row of ``E``
+per k-mer position, the identity included at expense 0), which generates each
+candidate exactly once and — unlike a literal reading of the pseudocode —
+stays correct for ambiguity-code rows (B/Z/X/``*``) where the diagonal is not
+the row maximum and a substitution can have *negative* expense.
+
+:func:`brute_force_substitutes` enumerates the whole |Sigma|^k space and is
+the oracle used by the property tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bio.alphabet import ALPHABET_SIZE
+from ..bio.scoring import BLOSUM62, ExpenseMatrix, ScoringMatrix
+from .encoding import decode_kmer, encode_kmer
+
+__all__ = [
+    "SubstituteKmer",
+    "find_substitute_kmers",
+    "substitute_kmer_ids",
+    "brute_force_substitutes",
+    "kmer_distance",
+]
+
+
+@dataclass(frozen=True)
+class SubstituteKmer:
+    """One substitute k-mer: its alphabet indices and its distance from the
+    root k-mer.  The root itself is never returned, but distances can be
+    negative for roots containing ambiguity codes."""
+
+    indices: tuple[int, ...]
+    distance: int
+
+    @property
+    def kmer_id(self) -> int:
+        return encode_kmer(np.asarray(self.indices, dtype=np.int64))
+
+
+def kmer_distance(
+    root: np.ndarray, candidate: np.ndarray, scoring: ScoringMatrix = BLOSUM62
+) -> int:
+    """Expense of ``candidate`` substituting ``root``:
+    ``sum_i C[r_i, r_i] - C[r_i, q_i]``."""
+    r = np.asarray(root, dtype=np.intp)
+    q = np.asarray(candidate, dtype=np.intp)
+    if r.shape != q.shape:
+        raise ValueError("k-mers must have equal length")
+    c = scoring.matrix
+    return int((c[r, r] - c[r, q]).sum())
+
+
+def find_substitute_kmers(
+    root: np.ndarray,
+    m: int,
+    expense: ExpenseMatrix | None = None,
+    scoring: ScoringMatrix = BLOSUM62,
+) -> list[SubstituteKmer]:
+    """The ``m`` nearest substitute k-mers of ``root`` (FINDSUBKMERS).
+
+    Results are emitted in ascending distance (ties broken deterministically
+    by exploration order).  The root itself is excluded.  When fewer than
+    ``m`` distinct candidates exist (tiny k), all of them are returned.
+    """
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    E = expense if expense is not None else scoring.expense_matrix()
+    r = np.asarray(root, dtype=np.int64)
+    k = len(r)
+    if m == 0 or k == 0:
+        return []
+    if r.min() < 0 or r.max() >= ALPHABET_SIZE:
+        raise ValueError("alphabet index out of range")
+
+    # Per-position sorted option lists: option_costs[i, j] is the j-th
+    # cheapest expense for position i, option_bases[i, j] the base achieving
+    # it.  Identity (expense 0) appears in each list.
+    option_costs = E.costs[r]  # (k, 24)
+    option_bases = E.bases[r]  # (k, 24)
+
+    start = (0,) * k
+    counter = 0
+    frontier: list[tuple[int, int, tuple[int, ...]]] = [
+        (int(option_costs[np.arange(k), 0].sum()), counter, start)
+    ]
+    visited: set[tuple[int, ...]] = {start}
+    results: list[SubstituteKmer] = []
+    limit = min(m, ALPHABET_SIZE**k - 1)
+    root_tuple = tuple(int(x) for x in r)
+    while frontier and len(results) < limit:
+        cost, _, vec = heapq.heappop(frontier)
+        cand = tuple(int(option_bases[i, vec[i]]) for i in range(k))
+        if cand != root_tuple:
+            results.append(SubstituteKmer(cand, cost))
+        for i in range(k):
+            j = vec[i]
+            if j + 1 < ALPHABET_SIZE:
+                nv = vec[:i] + (j + 1,) + vec[i + 1 :]
+                if nv not in visited:
+                    visited.add(nv)
+                    ncost = (
+                        cost
+                        - int(option_costs[i, j])
+                        + int(option_costs[i, j + 1])
+                    )
+                    counter += 1
+                    heapq.heappush(frontier, (ncost, counter, nv))
+    return results
+
+
+def substitute_kmer_ids(
+    kmer_id: int,
+    k: int,
+    m: int,
+    expense: ExpenseMatrix | None = None,
+    scoring: ScoringMatrix = BLOSUM62,
+) -> list[tuple[int, int]]:
+    """``(substitute id, distance)`` pairs for a k-mer given by id."""
+    root = decode_kmer(kmer_id, k)
+    return [
+        (s.kmer_id, s.distance)
+        for s in find_substitute_kmers(root, m, expense, scoring)
+    ]
+
+
+def brute_force_substitutes(
+    root: np.ndarray, m: int, scoring: ScoringMatrix = BLOSUM62
+) -> list[SubstituteKmer]:
+    """Oracle: enumerate all |Sigma|^k k-mers, sort by distance, return the
+    ``m`` nearest (root excluded).  Only viable for small k."""
+    r = np.asarray(root, dtype=np.int64)
+    k = len(r)
+    if k == 0 or m == 0:
+        return []
+    c = scoring.matrix
+    # distance contribution of each (position, letter) choice
+    contrib = np.empty((k, ALPHABET_SIZE), dtype=np.int64)
+    for pos in range(k):
+        base = int(r[pos])
+        contrib[pos] = c[base, base] - c[base]
+    total = ALPHABET_SIZE**k
+    dists = np.zeros(total, dtype=np.int64)
+    for pos in range(k):
+        reps = ALPHABET_SIZE ** (k - 1 - pos)
+        tile = np.repeat(contrib[pos], reps)
+        dists += np.tile(tile, total // (reps * ALPHABET_SIZE))
+    root_id = encode_kmer(r)
+    order = np.argsort(dists, kind="stable")
+    out: list[SubstituteKmer] = []
+    for kid in order:
+        if int(kid) == root_id:
+            continue
+        out.append(
+            SubstituteKmer(
+                tuple(int(x) for x in decode_kmer(int(kid), k)),
+                int(dists[kid]),
+            )
+        )
+        if len(out) == m:
+            break
+    return out

@@ -1,0 +1,21 @@
+"""Simulated MPI: thread-based SPMD runtime with tracing, the substrate the
+distributed pipeline runs on in this reproduction."""
+
+from .comm import ANY_SOURCE, Request, SimComm, SpmdError, run_spmd
+from .grid import ProcessGrid, block_ranges, is_perfect_square, nearest_square
+from .tracing import CommTracer, MessageRecord, payload_bytes
+
+__all__ = [
+    "ANY_SOURCE",
+    "Request",
+    "SimComm",
+    "SpmdError",
+    "run_spmd",
+    "ProcessGrid",
+    "block_ranges",
+    "is_perfect_square",
+    "nearest_square",
+    "CommTracer",
+    "MessageRecord",
+    "payload_bytes",
+]

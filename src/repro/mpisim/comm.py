@@ -1,0 +1,357 @@
+"""Thread-based SPMD simulator of the MPI communication core.
+
+The paper's distributed pipeline is SPMD over MPI; this module executes the
+same program structure inside one Python process: :func:`run_spmd` launches
+one thread per rank, each receiving a :class:`SimComm` that supports the
+point-to-point and collective operations PASTIS relies on (``Isend`` /
+``Irecv`` / ``Waitall`` for the overlapped sequence exchange, broadcast
+along grid rows/columns for SUMMA, all-to-all for the distributed transpose
+and redistribution).
+
+Semantics follow mpi4py's lowercase (pickle-object) API: messages match on
+``(source, tag)``, in FIFO order per channel; ``isend`` is buffered and
+completes immediately; collectives synchronise all ranks of the
+communicator.  All traffic is reported to an optional
+:class:`~repro.mpisim.tracing.CommTracer`.
+
+A watchdog timeout (default 120 s) converts deadlocks into test failures
+instead of hangs, and any rank raising an exception aborts the whole
+program deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .tracing import CommTracer, payload_bytes
+
+__all__ = ["SimComm", "Request", "SpmdError", "run_spmd", "ANY_SOURCE"]
+
+#: Wildcard source for :meth:`SimComm.recv`.
+ANY_SOURCE = -1
+
+_DEFAULT_TIMEOUT = 120.0
+
+
+class SpmdError(RuntimeError):
+    """Raised when a rank fails or the program deadlocks/times out."""
+
+
+class _Backend:
+    """State shared by all ranks of one communicator."""
+
+    def __init__(self, size: int, tracer: CommTracer | None, timeout: float):
+        self.size = size
+        self.tracer = tracer
+        self.timeout = timeout
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        # mailboxes[dst] is a FIFO of (src, tag, payload)
+        self.mailboxes: list[deque] = [deque() for _ in range(size)]
+        self.error: BaseException | None = None
+        # collective scratch (generation-stamped exchange)
+        self.coll_slots: list[Any] = [None] * size
+        self.coll_count = 0
+        self.coll_phase = 0
+        self.coll_result: list[Any] = []
+        # sub-communicator registry: (split_index, color) -> _Backend
+        self.split_registry: dict[tuple[int, int], "_Backend"] = {}
+
+    def abort(self, exc: BaseException) -> None:
+        with self.cond:
+            if self.error is None:
+                self.error = exc
+            self.cond.notify_all()
+        for be in list(self.split_registry.values()):
+            be.abort(exc)
+
+    def check_error(self) -> None:
+        if self.error is not None:
+            raise SpmdError("aborted by a failing rank") from self.error
+
+
+@dataclass
+class Request:
+    """Handle for a non-blocking operation."""
+
+    _wait_fn: Callable[[], Any]
+    _done: bool = False
+    _value: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._wait_fn()
+            self._done = True
+        return self._value
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-destructive completion check (completed requests only)."""
+        if self._done:
+            return True, self._value
+        return False, None
+
+
+class SimComm:
+    """Per-rank view of a simulated communicator."""
+
+    def __init__(self, backend: _Backend, rank: int):
+        self._backend = backend
+        self.rank = rank
+        self.size = backend.size
+        self._split_calls = 0
+
+    # -- point-to-point ------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send (never blocks in the simulator)."""
+        be = self._backend
+        if not 0 <= dest < be.size:
+            raise ValueError(f"bad destination rank {dest}")
+        if be.tracer is not None:
+            be.tracer.record(self.rank, dest, payload_bytes(obj), "p2p")
+        with be.cond:
+            be.check_error()
+            be.mailboxes[dest].append((self.rank, tag, obj))
+            be.cond.notify_all()
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; buffered, hence complete on return."""
+        self.send(obj, dest, tag)
+        return Request(lambda: None, _done=True)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
+        """Blocking receive matching ``(source, tag)`` in FIFO order."""
+        be = self._backend
+        box = be.mailboxes[self.rank]
+        deadline_hit = threading.Event()
+        with be.cond:
+            while True:
+                be.check_error()
+                for i, (src, t, obj) in enumerate(box):
+                    if (source == ANY_SOURCE or src == source) and t == tag:
+                        del box[i]
+                        return obj
+                if deadline_hit.is_set():
+                    exc = SpmdError(
+                        f"rank {self.rank} recv(source={source}, tag={tag}) "
+                        f"timed out after {be.timeout}s"
+                    )
+                    be.error = be.error or exc
+                    be.cond.notify_all()
+                    raise exc
+                if not be.cond.wait(timeout=be.timeout):
+                    deadline_hit.set()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = 0) -> Request:
+        """Non-blocking receive; completion happens inside ``wait``."""
+        return Request(lambda: self.recv(source, tag))
+
+    @staticmethod
+    def waitall(requests: Sequence[Request]) -> list[Any]:
+        """Complete every request (MPI_Waitall)."""
+        return [r.wait() for r in requests]
+
+    # -- collectives -----------------------------------------------------------
+
+    def _sync_exchange(self, obj: Any) -> list[Any]:
+        """Internal allgather: deposit ``obj``, wait for everyone, read all
+        slots.
+
+        Generation-stamped: the last depositor publishes the slot snapshot
+        as the result of this generation and advances the phase; waiters
+        exit on the phase change.  A subsequent collective cannot overwrite
+        the published result before every waiter has read it, because it
+        cannot complete until those waiters have deposited again.
+        """
+        be = self._backend
+        with be.cond:
+            be.check_error()
+            gen = be.coll_phase
+            be.coll_slots[self.rank] = obj
+            be.coll_count += 1
+            if be.coll_count == be.size:
+                be.coll_result = list(be.coll_slots)
+                be.coll_slots = [None] * be.size
+                be.coll_count = 0
+                be.coll_phase = gen + 1
+                be.cond.notify_all()
+                return list(be.coll_result)
+            while be.coll_phase == gen:
+                be.check_error()
+                if not be.cond.wait(timeout=be.timeout):
+                    exc = SpmdError(
+                        f"rank {self.rank} collective timed out after "
+                        f"{be.timeout}s (generation {gen})"
+                    )
+                    be.error = be.error or exc
+                    be.cond.notify_all()
+                    raise exc
+            return list(be.coll_result)
+
+    def barrier(self) -> None:
+        self._sync_exchange(None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast from ``root``; traced as ``size - 1`` messages."""
+        be = self._backend
+        if self.rank == root and be.tracer is not None:
+            size = payload_bytes(obj)
+            for dst in range(be.size):
+                if dst != root:
+                    be.tracer.record(root, dst, size, "bcast")
+        all_vals = self._sync_exchange(obj if self.rank == root else None)
+        return all_vals[root]
+
+    def allgather(self, obj: Any) -> list[Any]:
+        be = self._backend
+        if be.tracer is not None:
+            size = payload_bytes(obj)
+            for dst in range(be.size):
+                if dst != self.rank:
+                    be.tracer.record(self.rank, dst, size, "allgather")
+        return self._sync_exchange(obj)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        be = self._backend
+        if self.rank != root and be.tracer is not None:
+            be.tracer.record(self.rank, root, payload_bytes(obj), "gather")
+        vals = self._sync_exchange(obj)
+        return vals if self.rank == root else None
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        be = self._backend
+        if self.rank == root:
+            if objs is None or len(objs) != be.size:
+                raise ValueError("root must provide size objects")
+            if be.tracer is not None:
+                for dst in range(be.size):
+                    if dst != root:
+                        be.tracer.record(
+                            root, dst, payload_bytes(objs[dst]), "scatter"
+                        )
+        vals = self._sync_exchange(list(objs) if self.rank == root else None)
+        return vals[root][self.rank]
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Personalised all-to-all: rank ``r`` receives ``objs[r]`` from
+        every rank."""
+        be = self._backend
+        if len(objs) != be.size:
+            raise ValueError("alltoall requires size objects")
+        if be.tracer is not None:
+            for dst in range(be.size):
+                if dst != self.rank:
+                    be.tracer.record(
+                        self.rank, dst, payload_bytes(objs[dst]), "alltoall"
+                    )
+        mat = self._sync_exchange(list(objs))
+        return [mat[src][self.rank] for src in range(be.size)]
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any], root: int = 0):
+        be = self._backend
+        if self.rank != root and be.tracer is not None:
+            be.tracer.record(self.rank, root, payload_bytes(obj), "reduce")
+        vals = self._sync_exchange(obj)
+        if self.rank != root:
+            return None
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        vals = self.allgather(obj)
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def exscan(self, value: int) -> int:
+        """Exclusive prefix sum of integers (0 on rank 0) — PASTIS's
+        cooperative sequence-count prefix sums."""
+        vals = self.allgather(value)
+        return sum(vals[: self.rank])
+
+    # -- sub-communicators -----------------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "SimComm":
+        """Partition ranks by ``color`` into sub-communicators; rank order
+        within a group follows ``(key, parent rank)``."""
+        be = self._backend
+        call_idx = self._split_calls
+        self._split_calls += 1
+        if key is None:
+            key = self.rank
+        triples = self.allgather((color, key, self.rank))
+        group = sorted(
+            (k, r) for (c, k, r) in triples if c == color
+        )
+        new_rank = group.index((key, self.rank))
+        with be.lock:
+            reg_key = (call_idx, color)
+            sub = be.split_registry.get(reg_key)
+            if sub is None:
+                sub = _Backend(len(group), be.tracer, be.timeout)
+                be.split_registry[reg_key] = sub
+        self.barrier()
+        return SimComm(sub, new_rank)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SimComm(rank={self.rank}, size={self.size})"
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    tracer: CommTracer | None = None,
+    timeout: float = _DEFAULT_TIMEOUT,
+) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``nranks`` simulated ranks; return the
+    per-rank results in rank order.
+
+    Any rank raising aborts all ranks and re-raises as :class:`SpmdError`
+    carrying the first failure as ``__cause__``.
+    """
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    backend = _Backend(nranks, tracer, timeout)
+    results: list[Any] = [None] * nranks
+    failures: list[tuple[int, BaseException]] = []
+    flock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = SimComm(backend, rank)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - must propagate any
+            with flock:
+                failures.append((rank, exc))
+            backend.abort(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}")
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout * 2)
+        if t.is_alive():
+            backend.abort(SpmdError("rank thread did not terminate"))
+    for t in threads:
+        t.join(timeout=5.0)
+    if failures:
+        failures.sort(key=lambda f: f[0])
+        rank, exc = failures[0]
+        if isinstance(exc, SpmdError) and len(failures) > 1:
+            # prefer the original error over secondary abort noise
+            for r, e in failures:
+                if not isinstance(e, SpmdError):
+                    rank, exc = r, e
+                    break
+        raise SpmdError(f"rank {rank} failed: {exc!r}") from exc
+    return results

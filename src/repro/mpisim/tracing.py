@@ -1,0 +1,96 @@
+"""Communication tracing for the simulated MPI runtime.
+
+Every point-to-point message (and the point-to-point decomposition of each
+collective) is recorded as ``(src, dst, nbytes, kind)``.  The byte counts
+feed the :mod:`repro.perfmodel` α–β cost model, which is how functional runs
+at small rank counts calibrate the large-scale runtime extrapolations.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["payload_bytes", "MessageRecord", "CommTracer"]
+
+
+def payload_bytes(obj) -> int:
+    """Estimated wire size of a Python payload.
+
+    NumPy arrays report their buffer size (plus a small header); other
+    objects are sized by their pickle, mirroring mpi4py's lowercase API.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + 64
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj) + 16
+    if isinstance(obj, tuple) and all(isinstance(x, np.ndarray) for x in obj):
+        return sum(int(x.nbytes) for x in obj) + 64
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    src: int
+    dst: int
+    nbytes: int
+    kind: str  # "p2p", "bcast", "gather", ...
+
+
+@dataclass
+class CommTracer:
+    """Thread-safe accumulator of message records."""
+
+    records: list[MessageRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, src: int, dst: int, nbytes: int, kind: str) -> None:
+        with self._lock:
+            self.records.append(MessageRecord(src, dst, nbytes, kind))
+
+    # -- summaries -----------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        with self._lock:
+            return len(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(r.nbytes for r in self.records)
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        with self._lock:
+            out: Counter[str] = Counter()
+            for r in self.records:
+                out[r.kind] += r.nbytes
+            return dict(out)
+
+    def messages_by_kind(self) -> dict[str, int]:
+        with self._lock:
+            out: Counter[str] = Counter()
+            for r in self.records:
+                out[r.kind] += 1
+            return dict(out)
+
+    def max_rank_volume(self) -> int:
+        """Largest per-rank communication volume (send + receive) — the
+        quantity that bounds the α–β communication time."""
+        with self._lock:
+            vol: Counter[int] = Counter()
+            for r in self.records:
+                vol[r.src] += r.nbytes
+                vol[r.dst] += r.nbytes
+            return max(vol.values(), default=0)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.records.clear()

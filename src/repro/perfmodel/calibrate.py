@@ -1,0 +1,101 @@
+"""Calibration of a "this machine, this Python" MachineSpec.
+
+The Cori specs in :mod:`repro.perfmodel.machine` are literature-plausible
+constants.  For experiments that compare the model against *measured* local
+runs (the functional pipeline at small rank counts), this module measures
+the real throughput of our own kernels — alignment cells/s, SpGEMM partial
+products/s, substitute generations/s, parse bytes/s — and assembles a
+:class:`~repro.perfmodel.machine.MachineSpec` describing the interpreter we
+are actually running on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from ..align.smith_waterman import smith_waterman
+from ..align.xdrop import xdrop_align
+from ..bio.generate import random_protein
+from ..bio.alphabet import encode_sequence
+from ..bio.scoring import BLOSUM62
+from ..kmers.substitutes import find_substitute_kmers
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+from ..sparse.semiring import COUNTING
+from ..sparse.spgemm import spgemm_hash
+from .machine import MachineSpec
+
+__all__ = ["calibrate_local_machine"]
+
+
+def _time(fn, *args, repeat: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibrate_local_machine(seed: int = 0, cores: int = 1) -> MachineSpec:
+    """Measure this interpreter's kernel rates and return a MachineSpec.
+
+    Cheap by construction (fractions of a second per kernel); used by the
+    ablation benches to sanity-check the cost model against measured small
+    runs.
+    """
+    rng = np.random.default_rng(seed)
+    a = encode_sequence(random_protein(150, rng))
+    b = encode_sequence(random_protein(150, rng))
+
+    t_sw = _time(smith_waterman, a, b)
+    sw_rate = len(a) * len(b) / max(t_sw, 1e-9)
+
+    t_xd = _time(lambda: xdrop_align(a, b, 10, 10, 6, xdrop=49))
+    xd_rate = 50.0 * len(a) / max(t_xd, 1e-9)
+
+    # SpGEMM partial products
+    n, k, nnz = 100, 400, 2000
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, k, nnz)
+    m1 = CSRMatrix.from_coo(
+        COOMatrix(n, k, rows, cols, np.ones(nnz, dtype=np.int64))
+        .sum_duplicates(lambda x, y: x)
+    )
+    m2 = m1.transpose()
+    flops = sum(
+        int(c) * int(c)
+        for c in np.bincount(cols, minlength=k)
+    )
+    t_sp = _time(spgemm_hash, m1, m2, COUNTING)
+    sp_rate = flops / max(t_sp, 1e-9)
+
+    root = encode_sequence("AVGDMI")
+    t_sub = _time(find_substitute_kmers, root, 25)
+    sub_rate = 1.0 / max(t_sub, 1e-9)
+
+    text = ("M" + random_protein(9999, rng)).encode()
+    from ..bio.fasta import read_fasta_chunk
+
+    fasta = b">s\n" + text + b"\n"
+    t_parse = _time(read_fasta_chunk, fasta, 0, len(fasta))
+    parse_rate = len(fasta) / max(t_parse, 1e-9)
+
+    return MachineSpec(
+        name="python-local",
+        cores_per_node=cores,
+        sw_cells_per_sec=sw_rate,
+        xd_cells_per_sec=xd_rate,
+        spgemm_entries_per_sec=sp_rate,
+        kmer_entries_per_sec=parse_rate / 4.0,
+        substitutes_per_sec=sub_rate,
+        parse_bytes_per_sec=parse_rate,
+        transpose_bytes_per_sec=2.0e8,
+        stage_overhead=1e-4,
+        seq_handling_cost=2e-6,
+        beta=1.0 / 2.0e9,
+        serial_output_bytes_per_sec=2.0e8,
+    )

@@ -1,0 +1,111 @@
+"""Workload descriptors with the paper's reported dataset statistics.
+
+The Metaclust50 subsets drive every performance figure.  The paper reports
+several anchor quantities we bake in:
+
+* ``A`` for Metaclust50-1M (k=6) has 108 M nonzeros -> ~108 k-mers per
+  sequence (Section IV-D);
+* ``S`` for the same dataset with 25 substitutes has 611 M nonzeros ->
+  ~23.5 M distinct k-mers per million sequences (611 M / 26 per-row entries);
+* Metaclust50-0.5M: 399 M alignments with exact k-mers, 3.5 B with s=25 —
+  a factor 8.7 (Section VI-A);
+* the output nonzeros grow ~4x when sequences double: 10.9 / 43.3 / 172.3 B
+  for 1.25 / 2.5 / 5 M sequences at s=25 (Section VI-A, weak scaling);
+* the common-k-mer threshold removes "more than 90 %" of alignments.
+
+Everything else scales from those anchors: alignments and B-nonzeros
+quadratically in n, matrix nonzeros linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DatasetSpec", "metaclust", "PAPER_DATASETS"]
+
+#: paper anchors
+_KMERS_PER_SEQ = 108.0
+_UNIQUE_KMERS_PER_M = 23.5e6
+_ALIGN_EXACT_05M = 399e6
+_ALIGN_S25_05M = 3.5e9
+_B_NNZ_S25_125M = 10.9e9
+#: fraction of alignments surviving the CK threshold (paper: ">90 %
+#: reduction" in many cases; exact k-mers lose less than substitutes)
+_CK_KEEP_EXACT = 0.25
+_CK_KEEP_SUBST = 0.07
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A Metaclust50-style subset of ``n_sequences`` proteins."""
+
+    name: str
+    n_sequences: float
+    avg_len: float = 113.0  # consistent with 108 6-mers per sequence
+    k: int = 6
+
+    @property
+    def total_bytes(self) -> float:
+        return self.n_sequences * self.avg_len
+
+    @property
+    def a_nnz(self) -> float:
+        """Nonzeros of A (k-mer occurrences)."""
+        return self.n_sequences * _KMERS_PER_SEQ
+
+    @property
+    def unique_kmers(self) -> float:
+        return _UNIQUE_KMERS_PER_M * self.n_sequences / 1e6
+
+    def s_nnz(self, substitutes: int) -> float:
+        """Nonzeros of S: one identity plus ``substitutes`` per distinct
+        k-mer."""
+        if substitutes == 0:
+            return 0.0
+        return self.unique_kmers * (substitutes + 1)
+
+    def alignments(self, substitutes: int, ck: bool = False) -> float:
+        """Number of pairwise alignments (scales quadratically in n; the
+        substitute factor interpolates the paper's 8.7x at s=25)."""
+        scale = (self.n_sequences / 0.5e6) ** 2
+        factor = 1.0 + (
+            (_ALIGN_S25_05M / _ALIGN_EXACT_05M - 1.0) * substitutes / 25.0
+        )
+        total = _ALIGN_EXACT_05M * scale * factor
+        if ck:
+            total *= _CK_KEEP_EXACT if substitutes == 0 else _CK_KEEP_SUBST
+        return total
+
+    def b_nnz(self, substitutes: int) -> float:
+        """Nonzeros of the candidate matrix B."""
+        if substitutes > 0:
+            base = _B_NNZ_S25_125M * (self.n_sequences / 1.25e6) ** 2
+            factor = 0.2 + 0.8 * substitutes / 25.0
+            return base * factor
+        return 2.0 * self.alignments(0)
+
+    def spgemm_flops(self, substitutes: int) -> float:
+        """Semiring partial products of the SpGEMM(s): every output nonzero
+        is touched ~1.5x on average, plus the AS expansion for s > 0."""
+        flops = 1.5 * self.b_nnz(substitutes)
+        if substitutes > 0:
+            flops += self.a_nnz * (substitutes + 1)
+        return flops
+
+
+def metaclust(millions: float) -> DatasetSpec:
+    """Convenience constructor, e.g. ``metaclust(0.5)`` for
+    Metaclust50-0.5M."""
+    return DatasetSpec(
+        name=f"Metaclust50-{millions:g}M", n_sequences=millions * 1e6
+    )
+
+
+#: the subsets used across the paper's figures
+PAPER_DATASETS = {
+    "0.5M": metaclust(0.5),
+    "1M": metaclust(1.0),
+    "1.25M": metaclust(1.25),
+    "2.5M": metaclust(2.5),
+    "5M": metaclust(5.0),
+}

@@ -1,0 +1,42 @@
+"""Sparse-matrix substrate: CombBLAS stand-in with semiring SpGEMM, DCSC
+storage, 2-D distribution, and Sparse SUMMA."""
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .dcsc import DCSCMatrix
+from .distmat import DistSparseMatrix
+from .ops import (
+    diagonal_mask,
+    elementwise_add,
+    prune,
+    symmetrize,
+    tril,
+    triu,
+)
+from .semiring import ARITHMETIC, BOOLEAN, COUNTING, MAX_MIN, MIN_PLUS, Semiring
+from .spgemm import spgemm, spgemm_hash, spgemm_heap, spgemm_scipy
+from .summa import summa
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "DCSCMatrix",
+    "DistSparseMatrix",
+    "diagonal_mask",
+    "elementwise_add",
+    "prune",
+    "symmetrize",
+    "tril",
+    "triu",
+    "ARITHMETIC",
+    "BOOLEAN",
+    "COUNTING",
+    "MAX_MIN",
+    "MIN_PLUS",
+    "Semiring",
+    "spgemm",
+    "spgemm_hash",
+    "spgemm_heap",
+    "spgemm_scipy",
+    "summa",
+]

@@ -1,0 +1,167 @@
+"""Coordinate-format sparse matrix with arbitrary (object) values.
+
+The distributed pipeline moves triples between ranks, so COO is the exchange
+format; :class:`COOMatrix` supports both numeric and Python-object values
+(the PASTIS positional semirings store tuples).  Dimensions may far exceed
+the nonzero count — e.g. ``A`` is |sequences| x 24^k — so shape is ``int``
+based, never materialised.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+__all__ = ["COOMatrix"]
+
+
+def _as_values(vals: Any, n: int) -> np.ndarray:
+    arr = np.asarray(vals)
+    if arr.shape != (n,):
+        arr = np.empty(n, dtype=object)
+        for i, v in enumerate(vals):
+            arr[i] = v
+    return arr
+
+
+class COOMatrix:
+    """Sparse matrix as parallel ``(rows, cols, vals)`` arrays.
+
+    Duplicate coordinates are allowed until :meth:`sum_duplicates` folds them
+    with a semiring ``add``.
+    """
+
+    __slots__ = ("nrows", "ncols", "rows", "cols", "vals")
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        rows: np.ndarray | list,
+        cols: np.ndarray | list,
+        vals: np.ndarray | list,
+    ) -> None:
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        self.vals = _as_values(vals, len(self.rows))
+        if len(self.rows) != len(self.cols) or len(self.rows) != len(self.vals):
+            raise ValueError("rows/cols/vals must have equal length")
+        if len(self.rows):
+            if self.rows.min() < 0 or self.rows.max() >= self.nrows:
+                raise ValueError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= self.ncols:
+                raise ValueError("column index out of range")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls, nrows: int, ncols: int, dtype=np.int64) -> "COOMatrix":
+        z = np.empty(0, dtype=np.int64)
+        return cls(nrows, ncols, z, z.copy(), np.empty(0, dtype=dtype))
+
+    @classmethod
+    def from_scipy(cls, mat) -> "COOMatrix":
+        m = mat.tocoo()
+        return cls(m.shape[0], m.shape[1], m.row.astype(np.int64),
+                   m.col.astype(np.int64), m.data.copy())
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return len(self.rows)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    def __iter__(self) -> Iterator[tuple[int, int, Any]]:
+        for r, c, v in zip(self.rows, self.cols, self.vals):
+            yield int(r), int(c), v
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"COOMatrix({self.nrows}x{self.ncols}, nnz={self.nnz})"
+
+    # -- transforms ----------------------------------------------------------
+
+    def copy(self) -> "COOMatrix":
+        return COOMatrix(
+            self.nrows, self.ncols, self.rows.copy(), self.cols.copy(),
+            self.vals.copy(),
+        )
+
+    def transpose(self) -> "COOMatrix":
+        """Swap rows and columns (O(nnz), no value copies)."""
+        return COOMatrix(
+            self.ncols, self.nrows, self.cols.copy(), self.rows.copy(),
+            self.vals.copy(),
+        )
+
+    def sort(self) -> "COOMatrix":
+        """Entries sorted by (row, col); stable for duplicates."""
+        order = np.lexsort((self.cols, self.rows))
+        return COOMatrix(
+            self.nrows, self.ncols, self.rows[order], self.cols[order],
+            self.vals[order],
+        )
+
+    def sum_duplicates(self, add: Callable[[Any, Any], Any]) -> "COOMatrix":
+        """Fold duplicate coordinates with the semiring ``add``."""
+        if self.nnz == 0:
+            return self.copy()
+        m = self.sort()
+        out_r: list[int] = []
+        out_c: list[int] = []
+        out_v: list[Any] = []
+        cur_r, cur_c, cur_v = int(m.rows[0]), int(m.cols[0]), m.vals[0]
+        for i in range(1, m.nnz):
+            r, c = int(m.rows[i]), int(m.cols[i])
+            if r == cur_r and c == cur_c:
+                cur_v = add(cur_v, m.vals[i])
+            else:
+                out_r.append(cur_r)
+                out_c.append(cur_c)
+                out_v.append(cur_v)
+                cur_r, cur_c, cur_v = r, c, m.vals[i]
+        out_r.append(cur_r)
+        out_c.append(cur_c)
+        out_v.append(cur_v)
+        return COOMatrix(self.nrows, self.ncols, out_r, out_c,
+                         _as_values(out_v, len(out_v)))
+
+    def filter(self, keep: np.ndarray) -> "COOMatrix":
+        """Subset of entries selected by a boolean mask."""
+        keep = np.asarray(keep, dtype=bool)
+        return COOMatrix(self.nrows, self.ncols, self.rows[keep],
+                         self.cols[keep], self.vals[keep])
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "COOMatrix":
+        """Apply ``fn`` to every stored value."""
+        vals = np.empty(self.nnz, dtype=object)
+        for i, v in enumerate(self.vals):
+            vals[i] = fn(v)
+        return COOMatrix(self.nrows, self.ncols, self.rows.copy(),
+                         self.cols.copy(), vals)
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (numeric values only)."""
+        import scipy.sparse as sp
+
+        vals = self.vals
+        if vals.dtype == object:
+            vals = np.array([float(v) for v in vals])
+        return sp.coo_matrix(
+            (vals, (self.rows, self.cols)), shape=self.shape
+        ).tocsr()
+
+    def to_dict(self) -> dict[tuple[int, int], Any]:
+        """``{(row, col): value}`` — requires no duplicates."""
+        out: dict[tuple[int, int], Any] = {}
+        for r, c, v in self:
+            if (r, c) in out:
+                raise ValueError("duplicate coordinates; sum_duplicates first")
+            out[(r, c)] = v
+        return out

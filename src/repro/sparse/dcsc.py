@@ -1,0 +1,131 @@
+"""Doubly compressed sparse column format (Buluç & Gilbert 2008).
+
+Section IV-D of the paper: PASTIS's matrices are *hypersparse* — ``A`` has
+0.44 nonzeros per column, ``S`` 2.50, and 2-D distribution dilutes them
+further — so CombBLAS stores local submatrices in DCSC, which spends no
+memory on empty columns.
+
+Layout (paper notation):
+
+* ``jc``  — ids of the columns that contain at least one nonzero (sorted);
+* ``cp``  — ``len(jc) + 1`` pointers: column ``jc[t]`` owns the slice
+  ``ir[cp[t]:cp[t+1]]`` / ``num[cp[t]:cp[t+1]]``;
+* ``ir``  — row indices, sorted within each column;
+* ``num`` — the values.
+
+Memory is ``O(nnz + nzc)`` rather than CSC's ``O(nnz + ncols)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .coo import COOMatrix, _as_values
+
+__all__ = ["DCSCMatrix"]
+
+
+class DCSCMatrix:
+    """Doubly compressed sparse columns over arbitrary values."""
+
+    __slots__ = ("nrows", "ncols", "jc", "cp", "ir", "num")
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        jc: np.ndarray,
+        cp: np.ndarray,
+        ir: np.ndarray,
+        num: np.ndarray,
+    ) -> None:
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.jc = np.asarray(jc, dtype=np.int64)
+        self.cp = np.asarray(cp, dtype=np.int64)
+        self.ir = np.asarray(ir, dtype=np.int64)
+        self.num = _as_values(num, len(self.ir))
+        if len(self.cp) != len(self.jc) + 1:
+            raise ValueError("cp must have len(jc) + 1 entries")
+        if len(self.jc) and (self.cp[0] != 0 or self.cp[-1] != len(self.ir)):
+            raise ValueError("cp endpoints inconsistent with ir")
+        if len(self.jc) == 0 and len(self.ir) != 0:
+            raise ValueError("nonzeros present but no columns recorded")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "DCSCMatrix":
+        """Build from COO (no duplicate coordinates allowed)."""
+        if coo.nnz == 0:
+            z = np.empty(0, dtype=np.int64)
+            return cls(coo.nrows, coo.ncols, z, np.zeros(1, dtype=np.int64),
+                       z.copy(), np.empty(0, dtype=object))
+        order = np.lexsort((coo.rows, coo.cols))
+        cols = coo.cols[order]
+        rows = coo.rows[order]
+        vals = coo.vals[order]
+        jc, starts = np.unique(cols, return_index=True)
+        cp = np.concatenate((starts, [len(cols)])).astype(np.int64)
+        return cls(coo.nrows, coo.ncols, jc, cp, rows, vals)
+
+    def to_coo(self) -> COOMatrix:
+        cols = np.repeat(self.jc, np.diff(self.cp))
+        return COOMatrix(self.nrows, self.ncols,
+                         self.ir.copy(), cols, self.num.copy())
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return len(self.ir)
+
+    @property
+    def nzc(self) -> int:
+        """Number of non-empty columns — the quantity DCSC compresses over."""
+        return len(self.jc)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    def memory_words(self) -> int:
+        """Index words consumed: ``nnz`` row ids + ``nzc`` col ids +
+        ``nzc + 1`` pointers (CSC would pay ``ncols + 1`` pointers)."""
+        return self.nnz + self.nzc + (self.nzc + 1)
+
+    def csc_memory_words(self) -> int:
+        """Index words a plain CSC of the same matrix would use."""
+        return self.nnz + (self.ncols + 1)
+
+    # -- access ----------------------------------------------------------------
+
+    def column(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(row indices, values)`` of column ``j`` (empty if untouched)."""
+        t = np.searchsorted(self.jc, j)
+        if t < len(self.jc) and self.jc[t] == j:
+            s, e = self.cp[t], self.cp[t + 1]
+            return self.ir[s:e], self.num[s:e]
+        z = np.empty(0, dtype=np.int64)
+        return z, np.empty(0, dtype=object)
+
+    def get(self, i: int, j: int, default: Any = None) -> Any:
+        rows, vals = self.column(j)
+        pos = np.searchsorted(rows, i)
+        if pos < len(rows) and rows[pos] == i:
+            return vals[pos]
+        return default
+
+    def iter_columns(self):
+        """Yield ``(column id, row indices, values)`` for non-empty columns."""
+        for t in range(len(self.jc)):
+            s, e = self.cp[t], self.cp[t + 1]
+            yield int(self.jc[t]), self.ir[s:e], self.num[s:e]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"DCSCMatrix({self.nrows}x{self.ncols}, nnz={self.nnz}, "
+            f"nzc={self.nzc})"
+        )

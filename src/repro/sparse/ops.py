@@ -1,0 +1,86 @@
+"""Elementwise and structural sparse operations used by the pipeline:
+triangle extraction, symmetrization, pruning, and semiring-merge addition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from .coo import COOMatrix
+
+__all__ = [
+    "triu",
+    "tril",
+    "symmetrize",
+    "prune",
+    "elementwise_add",
+    "diagonal_mask",
+]
+
+
+def triu(m: COOMatrix, k: int = 0) -> COOMatrix:
+    """Entries on or above the ``k``-th diagonal (``k=1`` strictly upper).
+
+    PASTIS processes only the strictly upper triangle of the symmetric
+    candidate matrix ``B`` (Section IV-A)."""
+    return m.filter(m.cols - m.rows >= k)
+
+
+def tril(m: COOMatrix, k: int = 0) -> COOMatrix:
+    """Entries on or below the ``k``-th diagonal."""
+    return m.filter(m.cols - m.rows <= k)
+
+
+def symmetrize(
+    m: COOMatrix, merge: Callable[[Any, Any], Any] | None = None
+) -> COOMatrix:
+    """``M ∪ Mᵀ`` with ``merge`` folding coordinates present in both.
+
+    This is the paper's "symmetricize" step after ``(AS) Aᵀ``, whose output
+    is not symmetric because only the left operand's k-mers were expanded
+    with substitutes.  ``merge`` defaults to keeping the first value.
+    """
+    if merge is None:
+        merge = lambda a, b: a  # noqa: E731
+    t = m.transpose()
+    both = COOMatrix(
+        m.nrows,
+        m.ncols,
+        np.concatenate((m.rows, t.rows)),
+        np.concatenate((m.cols, t.cols)),
+        np.concatenate((m.vals, t.vals)),
+    )
+    return both.sum_duplicates(merge)
+
+
+def prune(m: COOMatrix, predicate: Callable[[Any], bool]) -> COOMatrix:
+    """Drop entries whose value fails ``predicate`` (CombBLAS ``Prune``)."""
+    keep = np.fromiter(
+        (bool(predicate(v)) for v in m.vals), dtype=bool, count=m.nnz
+    )
+    return m.filter(keep)
+
+
+def elementwise_add(
+    a: COOMatrix, b: COOMatrix, add: Callable[[Any, Any], Any]
+) -> COOMatrix:
+    """``A ⊕ B`` with the semiring ``add`` merging collisions."""
+    if a.shape != b.shape:
+        raise ValueError("shape mismatch")
+    merged = COOMatrix(
+        a.nrows,
+        a.ncols,
+        np.concatenate((a.rows, b.rows)),
+        np.concatenate((a.cols, b.cols)),
+        np.concatenate((a.vals, b.vals)),
+    )
+    return merged.sum_duplicates(add)
+
+
+def diagonal_mask(m: COOMatrix, keep_diagonal: bool = False) -> COOMatrix:
+    """Remove (default) or keep only the diagonal entries."""
+    if keep_diagonal:
+        return m.filter(m.rows == m.cols)
+    return m.filter(m.rows != m.cols)

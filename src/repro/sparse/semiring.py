@@ -1,0 +1,73 @@
+"""User-defined semirings (CombBLAS-style).
+
+A semiring supplies the two binary operators used by SpGEMM: ``multiply``
+combines one value of ``A`` with one value of ``B`` into a partial product,
+and ``add`` folds partial products for the same output coordinate.  PASTIS
+overloads both to thread k-mer positions through ``A Aᵀ`` and ``A S Aᵀ``
+(paper Section IV-A/IV-C); this module provides the abstraction plus the
+standard arithmetic semirings used as references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "Semiring",
+    "ARITHMETIC",
+    "BOOLEAN",
+    "MIN_PLUS",
+    "MAX_MIN",
+    "COUNTING",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring ``(add, multiply)`` with optional mapping of raw matrix
+    values into the multiplication domain.
+
+    Attributes
+    ----------
+    name:
+        Identifier for diagnostics.
+    add:
+        Associative, commutative fold of two partial products.
+    multiply:
+        Combine ``a_val`` (from the left matrix) and ``b_val`` (from the
+        right matrix) into a partial product.
+    zero:
+        The additive identity *for numeric semirings*; ``None`` means the
+        semiring has no materialised zero (PASTIS's positional semirings) —
+        SpGEMM then seeds each accumulator with the first partial product.
+    """
+
+    name: str
+    add: Callable[[Any, Any], Any]
+    multiply: Callable[[Any, Any], Any]
+    zero: Any = None
+
+    def __repr__(self) -> str:
+        return f"Semiring({self.name!r})"
+
+
+#: Standard (+, *) arithmetic — SpGEMM over it must equal scipy's matmul.
+ARITHMETIC = Semiring("arithmetic", lambda a, b: a + b, lambda a, b: a * b, 0)
+
+#: (or, and) — pattern multiplication.
+BOOLEAN = Semiring(
+    "boolean", lambda a, b: a or b, lambda a, b: a and b, False
+)
+
+#: (min, +) — shortest paths.
+MIN_PLUS = Semiring("min_plus", min, lambda a, b: a + b, None)
+
+#: (max, min) — bottleneck paths.
+MAX_MIN = Semiring("max_min", max, min, None)
+
+#: Count common nonzeros regardless of stored values: multiply ↦ 1, add ↦ +.
+#: With A holding k-mer positions, ``A Aᵀ`` over COUNTING gives the common
+#: k-mer count of every sequence pair (the paper's exact matching before
+#: positions are tracked).
+COUNTING = Semiring("counting", lambda a, b: a + b, lambda a, b: 1, 0)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the PASTIS reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bio.generate import scope_like
+from repro.bio.sequences import SequenceStore
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_store() -> SequenceStore:
+    """A tiny deterministic store with known shared k-mers."""
+    return SequenceStore(
+        [
+            "AVGDMIKRAVG",   # shares AVG (x2) and DMI with seq1
+            "AVGPDMIWKL",
+            "WWWWYYYY",      # unrelated
+            "AVGDMIKRAV",    # near-duplicate of seq0
+        ],
+        ids=["s0", "s1", "s2", "s3"],
+    )
+
+
+@pytest.fixture
+def family_data():
+    """Small SCOPe-like dataset with ground truth."""
+    return scope_like(
+        n_families=4,
+        members_per_family=(3, 4),
+        length_range=(50, 80),
+        divergence=0.2,
+        seed=77,
+    )

@@ -1,0 +1,131 @@
+"""Tests for Smith-Waterman with affine gaps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.alphabet import PROTEIN_ALPHABET, encode_sequence
+from repro.bio.generate import mutate, random_protein
+from repro.bio.scoring import BLOSUM45, BLOSUM62
+from repro.align.smith_waterman import (
+    smith_waterman,
+    sw_reference,
+    sw_score_only,
+)
+
+prot = st.text(alphabet=PROTEIN_ALPHABET[:20], min_size=1, max_size=40)
+
+
+class TestScore:
+    def test_identical_sequences(self):
+        a = encode_sequence("AVGDMIKR")
+        res = smith_waterman(a, a)
+        assert res.score == BLOSUM62.self_score(a)
+        assert res.identity == 1.0
+        assert res.coverage_short == 1.0
+        assert res.alignment_length == len(a)
+
+    def test_no_similarity_zero(self):
+        # tryptophans vs prolines score negatively everywhere
+        a = encode_sequence("WWWW")
+        b = encode_sequence("PPPP")
+        res = smith_waterman(a, b)
+        assert res.score == 0
+        assert res.alignment_length == 0
+
+    def test_empty_input(self):
+        a = encode_sequence("AVG")
+        res = smith_waterman(a, np.empty(0, dtype=np.int8))
+        assert res.score == 0
+
+    def test_known_simple_alignment(self):
+        # AVG vs AVG embedded in junk: local alignment finds the island
+        a = encode_sequence("AVGDMI")
+        b = encode_sequence("PPPAVGDMIPPP")
+        res = smith_waterman(a, b)
+        assert res.score == BLOSUM62.self_score(a)
+        assert res.b_start == 3
+        assert res.b_end == 9
+
+    def test_gap_cost_affine(self):
+        # one gap of length 2 costs open + 2*extend, not 2*(open+extend)
+        a = encode_sequence("AVGDMIKRW")
+        b = encode_sequence("AVGMIKRW")  # D deleted... 1 gap
+        res = smith_waterman(a, b, gap_open=5, gap_extend=1)
+        expected = BLOSUM62.self_score(encode_sequence("AVGMIKRW")) - 6
+        assert res.score == expected
+
+    def test_swap_symmetric_score(self):
+        a = encode_sequence(random_protein(30, 0))
+        b = encode_sequence(random_protein(35, 1))
+        assert smith_waterman(a, b).score == smith_waterman(b, a).score
+
+    def test_score_only_equals_traceback_score(self):
+        a = encode_sequence(random_protein(40, 2))
+        b = encode_sequence(mutate(random_protein(40, 2), 0.3, 0.05, 3))
+        assert sw_score_only(a, b) == smith_waterman(a, b).score
+
+    def test_alternative_matrix(self):
+        a = encode_sequence("AVGDMI")
+        r62 = smith_waterman(a, a, BLOSUM62)
+        r45 = smith_waterman(a, a, BLOSUM45)
+        assert r45.score == BLOSUM45.self_score(a)
+        assert r62.score != r45.score
+
+    @settings(max_examples=60, deadline=None)
+    @given(prot, prot)
+    def test_property_matches_reference(self, sa, sb):
+        a, b = encode_sequence(sa), encode_sequence(sb)
+        assert sw_score_only(a, b) == sw_reference(a, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(prot, prot, st.integers(2, 15), st.integers(1, 4))
+    def test_property_reference_with_gap_params(self, sa, sb, go, ge):
+        a, b = encode_sequence(sa), encode_sequence(sb)
+        assert (
+            sw_score_only(a, b, gap_open=go, gap_extend=ge)
+            == sw_reference(a, b, gap_open=go, gap_extend=ge)
+        )
+
+
+class TestTraceback:
+    def test_identity_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a = encode_sequence(random_protein(50, rng))
+            b = encode_sequence(random_protein(50, rng))
+            res = smith_waterman(a, b)
+            assert 0.0 <= res.identity <= 1.0
+            assert 0.0 <= res.coverage_short <= 1.0
+
+    def test_spans_consistent(self):
+        a = encode_sequence(random_protein(60, 4))
+        b = encode_sequence(mutate(random_protein(60, 4), 0.2, 0.0, 5))
+        res = smith_waterman(a, b)
+        assert 0 <= res.a_start <= res.a_end <= len(a)
+        assert 0 <= res.b_start <= res.b_end <= len(b)
+        assert res.alignment_length >= max(
+            res.a_end - res.a_start, res.b_end - res.b_start
+        ) - 0  # gaps only lengthen the alignment
+
+    def test_matches_le_length(self):
+        a = encode_sequence(random_protein(40, 6))
+        b = encode_sequence(mutate(random_protein(40, 6), 0.3, 0.05, 7))
+        res = smith_waterman(a, b)
+        assert res.matches <= res.alignment_length
+
+    def test_related_pair_high_identity(self):
+        s = random_protein(120, 8)
+        a = encode_sequence(s)
+        b = encode_sequence(mutate(s, 0.05, 0.0, 9))
+        res = smith_waterman(a, b)
+        assert res.identity > 0.85
+        assert res.coverage_short > 0.95
+
+    def test_no_traceback_flag(self):
+        a = encode_sequence("AVGDMI")
+        res = smith_waterman(a, a, traceback=False)
+        assert res.score == BLOSUM62.self_score(a)
+        assert res.matches == 0
+        assert res.alignment_length == 0

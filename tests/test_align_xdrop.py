@@ -1,0 +1,113 @@
+"""Tests for gapped x-drop extension and seed-and-extend alignment."""
+
+import numpy as np
+import pytest
+
+from repro.bio.alphabet import encode_sequence
+from repro.bio.generate import mutate, random_protein
+from repro.bio.scoring import BLOSUM62
+from repro.align.smith_waterman import smith_waterman
+from repro.align.xdrop import xdrop_align, xdrop_extend
+from repro.kmers.extraction import sequence_kmers
+
+
+def _shared_seed(a, b, k):
+    ia, pa = sequence_kmers(a, k)
+    ib, pb = sequence_kmers(b, k)
+    common = set(ia.tolist()) & set(ib.tolist())
+    kid = sorted(common)[0]
+    return int(pa[list(ia).index(kid)]), int(pb[list(ib).index(kid)])
+
+
+class TestExtend:
+    def test_empty_inputs(self):
+        r = xdrop_extend(np.empty(0, dtype=np.int8),
+                         encode_sequence("AVG"), 20)
+        assert r.score == 0 and r.ext_a == 0
+
+    def test_identical_full_extension(self):
+        a = encode_sequence("AVGDMIKR")
+        r = xdrop_extend(a, a, 49)
+        assert r.score == BLOSUM62.self_score(a)
+        assert r.ext_a == len(a)
+        assert r.ext_b == len(a)
+        assert r.matches == len(a)
+
+    def test_stops_at_divergence(self):
+        a = encode_sequence("AVGDMI" + "W" * 30)
+        b = encode_sequence("AVGDMI" + "P" * 30)
+        r = xdrop_extend(a, b, xdrop=10)
+        assert r.ext_a <= 10  # extension dies shortly after the match
+        assert r.score == BLOSUM62.self_score(encode_sequence("AVGDMI"))
+
+    def test_small_xdrop_less_permissive(self):
+        s = random_protein(80, 0)
+        a = encode_sequence(s)
+        b = encode_sequence(mutate(s, 0.3, 0.05, 1))
+        r_small = xdrop_extend(a, b, xdrop=3)
+        r_large = xdrop_extend(a, b, xdrop=100)
+        assert r_large.score >= r_small.score
+
+    def test_gap_crossing(self):
+        # extension must bridge a 2-residue insertion
+        s = "AVGDMIKRWLE"
+        a = encode_sequence(s)
+        b = encode_sequence(s[:5] + "PP" + s[5:])
+        r = xdrop_extend(a, b, xdrop=49)
+        assert r.ext_a == len(a)
+        assert r.ext_b == len(b)
+
+    def test_stats_bounds(self):
+        s = random_protein(60, 2)
+        a = encode_sequence(s)
+        b = encode_sequence(mutate(s, 0.2, 0.02, 3))
+        r = xdrop_extend(a, b, 49)
+        assert 0 <= r.matches <= r.length
+        assert r.length >= max(r.ext_a, r.ext_b)
+
+
+class TestXdropAlign:
+    def test_identical_with_seed(self):
+        a = encode_sequence("AVGDMIKRWLEN")
+        res = xdrop_align(a, a, 3, 3, 4)
+        assert res.score == BLOSUM62.self_score(a)
+        assert res.identity == 1.0
+        assert res.coverage_short == 1.0
+
+    def test_seed_out_of_range(self):
+        a = encode_sequence("AVGDMI")
+        with pytest.raises(ValueError):
+            xdrop_align(a, a, 5, 0, 4)
+
+    def test_score_at_most_sw(self):
+        rng = np.random.default_rng(5)
+        for trial in range(8):
+            s = random_protein(70, rng)
+            a = encode_sequence(s)
+            b = encode_sequence(mutate(s, 0.15, 0.02, rng))
+            sa, sb = _shared_seed(a, b, 4)
+            xd = xdrop_align(a, b, sa, sb, 4, xdrop=49)
+            sw = smith_waterman(a, b)
+            assert xd.score <= sw.score
+
+    def test_high_xdrop_approaches_sw_on_related(self):
+        s = random_protein(100, 11)
+        a = encode_sequence(s)
+        b = encode_sequence(mutate(s, 0.08, 0.0, 12))
+        sa, sb = _shared_seed(a, b, 5)
+        xd = xdrop_align(a, b, sa, sb, 5, xdrop=200)
+        sw = smith_waterman(a, b)
+        assert xd.score >= 0.9 * sw.score
+
+    def test_spans_contain_seed(self):
+        s = random_protein(80, 13)
+        a = encode_sequence(s)
+        b = encode_sequence(mutate(s, 0.1, 0.0, 14))
+        sa, sb = _shared_seed(a, b, 4)
+        res = xdrop_align(a, b, sa, sb, 4)
+        assert res.a_start <= sa and res.a_end >= sa + 4
+        assert res.b_start <= sb and res.b_end >= sb + 4
+
+    def test_mode_label(self):
+        a = encode_sequence("AVGDMIKR")
+        assert xdrop_align(a, a, 0, 0, 4).mode == "xd"

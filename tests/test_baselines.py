@@ -1,0 +1,164 @@
+"""Tests for the suffix array and the MMseqs2-like / LAST-like baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.last import LastConfig, last_search
+from repro.baselines.mmseqs import MMseqsConfig, mmseqs_search, similar_kmers
+from repro.baselines.suffix_array import SuffixIndex, suffix_array
+from repro.bio.alphabet import encode_sequence
+from repro.bio.generate import make_family, random_protein
+from repro.bio.sequences import SequenceStore
+
+
+class TestSuffixArray:
+    def test_known(self):
+        # "banana"-style check on integers
+        text = np.array([1, 0, 2, 0, 2, 0])  # b=1, a=0, n=2 ("banana")
+        sa = suffix_array(text)
+        suffixes = ["".join(map(str, text[i:])) for i in sa]
+        assert suffixes == sorted(suffixes)
+
+    def test_empty(self):
+        assert len(suffix_array(np.array([], dtype=np.int64))) == 0
+
+    def test_single(self):
+        assert suffix_array(np.array([5])).tolist() == [0]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=120))
+    def test_property_matches_naive(self, vals):
+        text = np.array(vals, dtype=np.int64)
+        sa = suffix_array(text)
+        naive = sorted(range(len(vals)), key=lambda i: vals[i:])
+        assert sa.tolist() == naive
+
+
+class TestSuffixIndex:
+    @pytest.fixture
+    def index(self):
+        store = SequenceStore(["AVGDMI", "DMIKRA", "AVGWWW"])
+        return SuffixIndex.build(store)
+
+    def test_match_range_finds_occurrences(self, index):
+        pat = encode_sequence("AVG").astype(np.int64) + 1
+        lo, hi = index.match_range(pat)
+        occs = index.occurrences(lo, hi)
+        assert set(occs) == {(0, 0), (2, 0)}
+
+    def test_match_range_missing(self, index):
+        pat = encode_sequence("WWWWW").astype(np.int64) + 1
+        lo, hi = index.match_range(pat)
+        assert hi - lo == 0
+
+    def test_match_range_narrowing(self, index):
+        pat1 = encode_sequence("DM").astype(np.int64) + 1
+        lo1, hi1 = index.match_range(pat1)
+        pat2 = encode_sequence("DMI").astype(np.int64) + 1
+        lo2, hi2 = index.match_range(pat2, start=(lo1, hi1))
+        assert lo1 <= lo2 <= hi2 <= hi1
+        assert set(index.occurrences(lo2, hi2)) == {(0, 3), (1, 0)}
+
+    def test_adaptive_seed_shrinks_to_threshold(self, index):
+        q = encode_sequence("AVGDMI")
+        length, occs = index.adaptive_seed(q, 0, max_matches=1)
+        assert length >= 3
+        assert len(occs) <= 1
+
+    def test_adaptive_seed_min_length(self, index):
+        q = encode_sequence("AVGDMI")
+        length, occs = index.adaptive_seed(q, 0, max_matches=100,
+                                           min_length=3)
+        if length:
+            assert length >= 3
+
+    def test_adaptive_seed_no_match(self, index):
+        q = encode_sequence("PPPPP")
+        length, occs = index.adaptive_seed(q, 0, max_matches=10)
+        assert length == 0 and occs == []
+
+
+class TestSimilarKmers:
+    def test_self_always_included(self):
+        cfg = MMseqsConfig(k=3, sensitivity=1.0)
+        kmer = encode_sequence("AAC")
+        out = similar_kmers(kmer, cfg)
+        assert out[0][1] == 0
+
+    def test_budget_monotone_in_sensitivity(self):
+        kmer = encode_sequence("AAC")
+        low = similar_kmers(kmer, MMseqsConfig(k=3, sensitivity=1.0))
+        high = similar_kmers(kmer, MMseqsConfig(k=3, sensitivity=7.5))
+        assert len(high) >= len(low)
+
+    def test_all_within_budget(self):
+        cfg = MMseqsConfig(k=3, sensitivity=5.7)
+        kmer = encode_sequence("AVG")
+        for _, dist in similar_kmers(kmer, cfg):
+            assert dist <= cfg.distance_budget
+
+
+class TestMMseqsSearch:
+    @pytest.fixture(scope="class")
+    def store(self):
+        fam = make_family(5, 60, 0.12, 0, indel_rate=0.0)
+        return SequenceStore(fam + [random_protein(55, 9)])
+
+    def test_finds_family_pairs(self, store):
+        g = mmseqs_search(store, MMseqsConfig(k=4, sensitivity=5.7))
+        # all 10 within-family pairs at low divergence
+        assert g.nedges >= 8
+        assert all(j <= 4 for _, j in g.edge_set())
+
+    def test_double_hit_gate(self):
+        # one shared k-mer only -> no double hit on a diagonal -> no pair
+        store = SequenceStore(["WWWAVGDPP", "YYYAVGDHH"])
+        g = mmseqs_search(
+            store, MMseqsConfig(k=4, sensitivity=0.0, ungapped_min_score=0)
+        )
+        assert g.nedges == 0
+
+    def test_two_hits_same_diagonal_pass(self):
+        store = SequenceStore(["AVGDMIKRW", "AVGDMIKRW"])
+        g = mmseqs_search(store, MMseqsConfig(k=4, sensitivity=0.0))
+        assert g.nedges == 1
+
+    def test_sensitivity_monotone(self, store):
+        lo = mmseqs_search(store, MMseqsConfig(k=4, sensitivity=1.0))
+        hi = mmseqs_search(store, MMseqsConfig(k=4, sensitivity=7.5))
+        assert hi.meta["double_hit_pairs"] >= lo.meta["double_hit_pairs"]
+
+    def test_meta(self, store):
+        g = mmseqs_search(store, MMseqsConfig(k=4))
+        assert g.meta["tool"] == "MMseqs2-like"
+        assert g.meta["gapped_alignments"] >= g.nedges
+
+
+class TestLastSearch:
+    @pytest.fixture(scope="class")
+    def store(self):
+        fam = make_family(4, 60, 0.12, 1, indel_rate=0.0)
+        return SequenceStore(fam + [random_protein(50, 2)])
+
+    def test_finds_family_pairs(self, store):
+        g = last_search(
+            store, LastConfig(max_initial_matches=50, min_seed_length=4)
+        )
+        assert g.nedges >= 5
+
+    def test_max_matches_monotone(self, store):
+        lo = last_search(
+            store, LastConfig(max_initial_matches=1, min_seed_length=4)
+        )
+        hi = last_search(
+            store, LastConfig(max_initial_matches=100, min_seed_length=4)
+        )
+        assert hi.meta["aligned_pairs"] >= lo.meta["aligned_pairs"]
+
+    def test_meta(self, store):
+        g = last_search(store, LastConfig(max_initial_matches=10,
+                                          min_seed_length=4))
+        assert g.meta["tool"] == "LAST-like"
+        assert g.meta["index_seconds"] >= 0

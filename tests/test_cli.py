@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.bio.fasta import write_fasta
+from repro.bio.generate import scope_like
+from repro.cli import build_parser, main, write_edges_tsv
+from repro.core.graph import SimilarityGraph
+
+
+@pytest.fixture
+def fasta_file(tmp_path):
+    data = scope_like(
+        n_families=3, members_per_family=(3, 3), length_range=(40, 60),
+        divergence=0.15, seed=5,
+    )
+    path = tmp_path / "in.fasta"
+    write_fasta(
+        path,
+        [(data.store.ids[i], data.store.sequence(i))
+         for i in range(len(data.store))],
+    )
+    return path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["in.fa", "-o", "out.tsv"])
+        assert args.k == 6
+        assert args.substitutes == 0
+        assert args.align == "xd"
+        assert args.weight == "ani"
+        assert args.ranks == 1
+
+    def test_all_options(self):
+        args = build_parser().parse_args(
+            ["in.fa", "-o", "o.tsv", "--k", "4", "-s", "10",
+             "--align", "sw", "--weight", "ns", "--ck", "2",
+             "--ranks", "4", "--cluster", "c.tsv"]
+        )
+        assert args.k == 4
+        assert args.substitutes == 10
+        assert args.align == "sw"
+        assert args.ck == 2
+        assert args.cluster == "c.tsv"
+
+
+class TestMain:
+    def test_basic_run(self, fasta_file, tmp_path):
+        out = tmp_path / "edges.tsv"
+        rc = main([str(fasta_file), "-o", str(out), "--k", "4", "--quiet"])
+        assert rc == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines[0].startswith("#id_a")
+        assert len(lines) > 1
+        for line in lines[1:]:
+            a, b, w = line.split("\t")
+            assert 0.0 < float(w) <= 1.0
+
+    def test_distributed_matches_single(self, fasta_file, tmp_path):
+        out1 = tmp_path / "e1.tsv"
+        out4 = tmp_path / "e4.tsv"
+        main([str(fasta_file), "-o", str(out1), "--k", "4", "--quiet"])
+        main([str(fasta_file), "-o", str(out4), "--k", "4",
+              "--ranks", "4", "--quiet"])
+        assert sorted(out1.read_text().splitlines()) == sorted(
+            out4.read_text().splitlines()
+        )
+
+    def test_clustering_output(self, fasta_file, tmp_path):
+        out = tmp_path / "edges.tsv"
+        clu = tmp_path / "clusters.tsv"
+        rc = main([str(fasta_file), "-o", str(out), "--k", "4",
+                   "--cluster", str(clu), "--quiet"])
+        assert rc == 0
+        lines = clu.read_text().strip().splitlines()
+        assert len(lines) == 10  # header + 9 sequences
+        clusters = {line.split("\t")[1] for line in lines[1:]}
+        assert len(clusters) == 3  # three families recovered
+
+    def test_empty_input_fails(self, tmp_path):
+        empty = tmp_path / "empty.fasta"
+        empty.write_text("")
+        rc = main([str(empty), "-o", str(tmp_path / "o.tsv"), "--quiet"])
+        assert rc == 2
+
+    def test_ns_weights_can_exceed_one(self, fasta_file, tmp_path):
+        out = tmp_path / "edges.tsv"
+        main([str(fasta_file), "-o", str(out), "--k", "4",
+              "--weight", "ns", "--quiet"])
+        ws = [float(l.split("\t")[2])
+              for l in out.read_text().strip().splitlines()[1:]]
+        assert any(w > 1.0 for w in ws)  # raw score / length for identicalish
+
+
+class TestWriteEdges:
+    def test_roundtrip_values(self, tmp_path):
+        g = SimilarityGraph.from_edges(
+            3, [(0, 1, 0.5), (1, 2, 0.75)], ids=["a", "b", "c"]
+        )
+        path = tmp_path / "e.tsv"
+        n = write_edges_tsv(str(path), g)
+        assert n == 2
+        rows = path.read_text().strip().splitlines()[1:]
+        parsed = {tuple(r.split("\t")[:2]): float(r.split("\t")[2])
+                  for r in rows}
+        assert parsed == {("a", "b"): 0.5, ("b", "c"): 0.75}
+
+    def test_without_ids(self, tmp_path):
+        g = SimilarityGraph.from_edges(2, [(0, 1, 1.0)])
+        g.ids = None
+        path = tmp_path / "e.tsv"
+        write_edges_tsv(str(path), g)
+        assert "0\t1\t" in path.read_text()

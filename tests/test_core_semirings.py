@@ -1,0 +1,138 @@
+"""Tests for PASTIS's custom semirings and their value types."""
+
+import pytest
+
+from repro.core.config import PastisConfig
+from repro.core.semirings import (
+    MAX_SEEDS,
+    CommonKmers,
+    SeedHit,
+    exact_overlap_semiring,
+    merge_common_kmers,
+    substitute_as_semiring,
+    substitute_overlap_semiring,
+)
+
+
+class TestCommonKmers:
+    def test_merge_counts_add(self):
+        a = CommonKmers(2, ((0, 1, 0), (5, 6, 0)))
+        b = CommonKmers(3, ((2, 3, 0),))
+        assert a.merge(b).count == 5
+
+    def test_merge_keeps_max_seeds(self):
+        a = CommonKmers(1, ((0, 0, 5),))
+        b = CommonKmers(1, ((1, 1, 2),))
+        c = CommonKmers(1, ((2, 2, 8),))
+        m = a.merge(b).merge(c)
+        assert len(m.seeds) == MAX_SEEDS
+        assert [s[2] for s in m.seeds] == [2, 5]  # lowest distances win
+
+    def test_merge_canonical_order_associative(self):
+        # incremental merging must equal global top-2 under the total order
+        seeds = [CommonKmers(1, ((i, 10 - i, i % 3),)) for i in range(6)]
+        left = seeds[0]
+        for s in seeds[1:]:
+            left = left.merge(s)
+        right = seeds[-1]
+        for s in reversed(seeds[:-1]):
+            right = s.merge(right)
+        assert left.seeds == right.seeds
+        assert left.count == right.count
+
+    def test_flip(self):
+        ck = CommonKmers(2, ((1, 9, 0), (3, 7, 2)))
+        f = ck.flip()
+        assert f.count == 2
+        assert set(f.seeds) == {(9, 1, 0), (7, 3, 2)}
+
+    def test_flip_resorts_canonically(self):
+        ck = CommonKmers(2, ((1, 9, 0), (2, 0, 0)))
+        f = ck.flip()
+        assert f.seeds == ((0, 2, 0), (9, 1, 0))
+
+
+class TestSemirings:
+    def test_exact_multiply(self):
+        sr = exact_overlap_semiring()
+        v = sr.multiply(4, 7)
+        assert isinstance(v, CommonKmers)
+        assert v.count == 1
+        assert v.seeds == ((4, 7, 0),)
+
+    def test_exact_add_is_merge(self):
+        sr = exact_overlap_semiring()
+        a = sr.multiply(4, 7)
+        b = sr.multiply(1, 2)
+        assert sr.add(a, b).count == 2
+
+    def test_as_multiply(self):
+        sr = substitute_as_semiring()
+        hit = sr.multiply(5, 3)
+        assert hit == SeedHit(5, 3)
+
+    def test_as_add_prefers_closer(self):
+        sr = substitute_as_semiring()
+        near = SeedHit(10, 1)
+        far = SeedHit(2, 8)
+        assert sr.add(near, far) == near
+        assert sr.add(far, near) == near
+
+    def test_as_add_tie_breaks_on_position(self):
+        sr = substitute_as_semiring()
+        a = SeedHit(10, 3)
+        b = SeedHit(4, 3)
+        assert sr.add(a, b) == b
+
+    def test_substitute_overlap_multiply(self):
+        sr = substitute_overlap_semiring()
+        v = sr.multiply(SeedHit(5, 3), 9)
+        assert v.count == 1
+        assert v.seeds == ((5, 9, 3),)
+
+    def test_merge_function_matches_method(self):
+        a = CommonKmers(1, ((0, 0, 1),))
+        b = CommonKmers(1, ((1, 1, 0),))
+        assert merge_common_kmers(a, b) == a.merge(b)
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        cfg = PastisConfig()
+        assert cfg.k == 6
+        assert cfg.gap_open == 11
+        assert cfg.gap_extend == 1
+        assert cfg.xdrop == 49
+        assert cfg.min_identity == 0.30
+        assert cfg.min_coverage == 0.70
+
+    def test_variant_names(self):
+        assert PastisConfig(align_mode="sw").variant_name == "PASTIS-SW-s0"
+        assert (
+            PastisConfig(align_mode="xd", substitutes=25,
+                         common_kmer_threshold=3).variant_name
+            == "PASTIS-XD-s25-CK"
+        )
+
+    def test_default_ck(self):
+        assert PastisConfig().default_ck().common_kmer_threshold == 1
+        assert (
+            PastisConfig(substitutes=25).default_ck().common_kmer_threshold
+            == 3
+        )
+
+    def test_uses_filter(self):
+        assert PastisConfig(weight="ani").uses_filter
+        assert not PastisConfig(weight="ns").uses_filter
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PastisConfig(align_mode="blast")
+        with pytest.raises(ValueError):
+            PastisConfig(weight="bitscore")
+        with pytest.raises(ValueError):
+            PastisConfig(k=0)
+        with pytest.raises(ValueError):
+            PastisConfig(substitutes=-1)
+        with pytest.raises(ValueError):
+            PastisConfig(common_kmer_threshold=-2)

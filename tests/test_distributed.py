@@ -1,0 +1,170 @@
+"""Tests for the fully distributed pipeline — above all, the paper's claim
+that results are oblivious to the process count."""
+
+import numpy as np
+import pytest
+
+from repro.bio.generate import scope_like
+from repro.bio.sequences import DistributedIndex, SequenceStore
+from repro.core.config import PastisConfig
+from repro.core.distributed import (
+    pastis_rank,
+    run_pastis_distributed,
+    store_to_fasta_bytes,
+)
+from repro.core.exchange import needed_ranges, start_exchange
+from repro.core.pipeline import pastis_pipeline
+from repro.mpisim.comm import run_spmd
+from repro.mpisim.grid import ProcessGrid
+from repro.mpisim.tracing import CommTracer
+
+
+@pytest.fixture(scope="module")
+def data():
+    return scope_like(
+        n_families=4, members_per_family=(3, 4), length_range=(40, 70),
+        divergence=0.15, seed=33,
+    )
+
+
+class TestFastaBytes:
+    def test_roundtrip(self, data):
+        from repro.bio.fasta import parse_fasta_text
+
+        raw = store_to_fasta_bytes(data.store)
+        recs = parse_fasta_text(raw.decode())
+        assert [r.id for r in recs] == data.store.ids
+        assert [r.sequence for r in recs] == [
+            data.store.sequence(i) for i in range(len(data.store))
+        ]
+
+
+class TestExchange:
+    def test_needed_ranges_cover_row_and_col(self):
+        def fn(comm):
+            grid = ProcessGrid.create(comm)
+            return needed_ranges(grid, comm.rank, 100)
+
+        out = run_spmd(9, fn)
+        # P5 = grid (1, 2): rows 34-66, cols 67-99 (approx thirds)
+        r5 = out[5]
+        assert len(r5) == 2
+        assert r5[0][0] == 33 or r5[0][0] == 34  # row block of 100/3
+
+    def test_exchange_delivers_all_needed(self, data):
+        fasta = store_to_fasta_bytes(data.store)
+
+        def fn(comm):
+            from repro.bio.fasta import chunk_boundaries, read_fasta_chunk
+
+            grid = ProcessGrid.create(comm)
+            s, e = chunk_boundaries(len(fasta), comm.size)[comm.rank]
+            local = SequenceStore.from_records(
+                read_fasta_chunk(fasta, s, e)
+            )
+            counts = comm.allgather(len(local))
+            index = DistributedIndex.from_counts(counts)
+            ex = start_exchange(comm, grid, index, local, index.total)
+            cache = ex.finish()
+            for lo, hi in needed_ranges(grid, comm.rank, index.total):
+                for g in range(lo, hi):
+                    assert g in cache
+            return len(cache)
+
+        out = run_spmd(9, fn)
+        assert all(c > 0 for c in out)
+
+    def test_exchanged_content_correct(self, data):
+        fasta = store_to_fasta_bytes(data.store)
+
+        def fn(comm):
+            from repro.bio.fasta import chunk_boundaries, read_fasta_chunk
+
+            grid = ProcessGrid.create(comm)
+            s, e = chunk_boundaries(len(fasta), comm.size)[comm.rank]
+            local = SequenceStore.from_records(
+                read_fasta_chunk(fasta, s, e)
+            )
+            counts = comm.allgather(len(local))
+            index = DistributedIndex.from_counts(counts)
+            ex = start_exchange(comm, grid, index, local, index.total)
+            cache = ex.finish()
+            return {g: bytes(v.tobytes()) for g, v in cache.items()}
+
+        out = run_spmd(4, fn)
+        for cache in out:
+            for g, blob in cache.items():
+                assert blob == data.store.encoded(g).tobytes()
+
+
+class TestProcessObliviousness:
+    """Section V: "The connections found in the PSG are oblivious to the
+    number of processes used to parallelize PASTIS."""
+
+    @pytest.mark.parametrize("p", [1, 4, 9, 16])
+    def test_exact_kmers(self, data, p):
+        cfg = PastisConfig(k=4, substitutes=0, align_mode="xd")
+        ref = pastis_pipeline(data.store, cfg)
+        got = run_pastis_distributed(data.store, cfg, nranks=p)
+        assert got.edge_set() == ref.edge_set()
+        assert np.allclose(np.sort(got.weights), np.sort(ref.weights))
+
+    @pytest.mark.parametrize("p", [1, 4, 9])
+    def test_substitute_kmers(self, data, p):
+        cfg = PastisConfig(k=4, substitutes=4, align_mode="xd")
+        ref = pastis_pipeline(data.store, cfg)
+        got = run_pastis_distributed(data.store, cfg, nranks=p)
+        assert got.edge_set() == ref.edge_set()
+        assert np.allclose(np.sort(got.weights), np.sort(ref.weights))
+
+    def test_sw_mode(self, data):
+        cfg = PastisConfig(k=4, substitutes=0, align_mode="sw")
+        ref = pastis_pipeline(data.store, cfg)
+        got = run_pastis_distributed(data.store, cfg, nranks=4)
+        assert got.edge_set() == ref.edge_set()
+
+    def test_ck_threshold_distributed(self, data):
+        cfg = PastisConfig(k=4, substitutes=0).default_ck()
+        ref = pastis_pipeline(data.store, cfg)
+        got = run_pastis_distributed(data.store, cfg, nranks=4)
+        assert got.edge_set() == ref.edge_set()
+
+    def test_ns_weighting_distributed(self, data):
+        cfg = PastisConfig(k=4, substitutes=0, weight="ns")
+        ref = pastis_pipeline(data.store, cfg)
+        got = run_pastis_distributed(data.store, cfg, nranks=4)
+        assert got.edge_set() == ref.edge_set()
+        assert np.allclose(np.sort(got.weights), np.sort(ref.weights))
+
+
+class TestMeta:
+    def test_timings_have_paper_components(self, data):
+        cfg = PastisConfig(k=4, substitutes=4)
+        g = run_pastis_distributed(data.store, cfg, nranks=4)
+        t = g.meta["rank_timings"][0]
+        for key in ("fasta", "form A", "tr. A", "form S", "AS", "(AS)AT",
+                    "sym.", "wait", "align"):
+            assert key in t, key
+
+    def test_exact_mode_has_no_s_components(self, data):
+        cfg = PastisConfig(k=4, substitutes=0)
+        g = run_pastis_distributed(data.store, cfg, nranks=4)
+        t = g.meta["rank_timings"][0]
+        assert "form S" not in t
+        assert "sym." not in t
+
+    def test_alignment_counts_match_candidates(self, data):
+        cfg = PastisConfig(k=4, substitutes=0)
+        g = run_pastis_distributed(data.store, cfg, nranks=4)
+        assert g.meta["aligned_pairs"] == g.meta["candidate_pairs"]
+        ref = pastis_pipeline(data.store, cfg)
+        assert g.meta["aligned_pairs"] == ref.meta["aligned_pairs"]
+
+    def test_tracer_records_traffic(self, data):
+        cfg = PastisConfig(k=4, substitutes=0)
+        tracer = CommTracer()
+        run_pastis_distributed(data.store, cfg, nranks=4, tracer=tracer)
+        assert tracer.total_messages > 0
+        kinds = tracer.bytes_by_kind()
+        assert "alltoall" in kinds  # matrix distribution
+        assert "p2p" in kinds       # sequence exchange + transpose

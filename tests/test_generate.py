@@ -1,0 +1,139 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.bio.alphabet import CANONICAL_AMINO_ACIDS
+from repro.bio.generate import (
+    make_family,
+    metaclust_like,
+    mutate,
+    random_protein,
+    scope_like,
+)
+
+
+class TestRandomProtein:
+    def test_length(self):
+        assert len(random_protein(50, 0)) == 50
+
+    def test_canonical_only(self):
+        s = random_protein(500, 1)
+        assert set(s) <= set(CANONICAL_AMINO_ACIDS)
+
+    def test_deterministic(self):
+        assert random_protein(40, 42) == random_protein(40, 42)
+
+    def test_different_seeds_differ(self):
+        assert random_protein(40, 1) != random_protein(40, 2)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            random_protein(0)
+
+
+class TestMutate:
+    def test_zero_rates_identity(self):
+        s = random_protein(100, 0)
+        assert mutate(s, 0.0, 0.0, 0) == s
+
+    def test_full_substitution_changes_everything(self):
+        s = random_protein(100, 0)
+        m = mutate(s, 1.0, 0.0, 0)
+        assert len(m) == len(s)
+        # BLOSUM-biased substitution never keeps the original residue
+        assert all(a != b for a, b in zip(s, m))
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            mutate("AVG", 1.5)
+        with pytest.raises(ValueError):
+            mutate("AVG", 0.1, -0.1)
+
+    def test_never_empty(self):
+        out = mutate("A", 0.0, 1.0, 3)
+        assert len(out) >= 1
+
+    def test_indels_change_length_sometimes(self):
+        s = random_protein(200, 0)
+        lengths = {len(mutate(s, 0.0, 0.2, seed)) for seed in range(5)}
+        assert len(lengths) > 1
+
+    def test_moderate_divergence_preserves_most(self):
+        s = random_protein(200, 0)
+        m = mutate(s, 0.1, 0.0, 0)
+        same = sum(a == b for a, b in zip(s, m))
+        assert same > 150
+
+
+class TestFamilies:
+    def test_make_family_size(self):
+        fam = make_family(5, 80, 0.2, 0)
+        assert len(fam) == 5
+        assert all(len(s) > 0 for s in fam)
+
+    def test_family_members_similar(self):
+        fam = make_family(3, 100, 0.1, 0, indel_rate=0.0)
+        a, b = fam[0], fam[1]
+        same = sum(x == y for x, y in zip(a, b))
+        assert same / len(a) > 0.6  # two 10%-mutated copies of one ancestor
+
+
+class TestScopeLike:
+    def test_structure(self):
+        ds = scope_like(n_families=5, members_per_family=(3, 4), seed=0)
+        assert ds.n_families == 5
+        assert len(ds.labels) == len(ds.store)
+        assert set(ds.labels.tolist()) == set(range(5))
+
+    def test_family_sizes_in_range(self):
+        ds = scope_like(n_families=6, members_per_family=(3, 5), seed=1)
+        for fam in range(6):
+            assert 3 <= len(ds.family_members(fam)) <= 5
+
+    def test_deterministic(self):
+        a = scope_like(n_families=3, seed=9)
+        b = scope_like(n_families=3, seed=9)
+        assert a.store.sequence(0) == b.store.sequence(0)
+        assert (a.labels == b.labels).all()
+
+    def test_true_pairs(self):
+        ds = scope_like(n_families=2, members_per_family=(3, 3), seed=0)
+        pairs = ds.true_pairs()
+        assert len(pairs) == 2 * 3  # two families of 3 -> 3 pairs each
+        for i, j in pairs:
+            assert i < j
+            assert ds.labels[i] == ds.labels[j]
+
+
+class TestMetaclustLike:
+    def test_size(self):
+        ds = metaclust_like(60, seed=0, length_range=(50, 100))
+        assert len(ds.store) == 60
+
+    def test_singletons_unique_negative(self):
+        ds = metaclust_like(
+            50, family_fraction=0.5, seed=0, length_range=(50, 80)
+        )
+        neg = ds.labels[ds.labels < 0]
+        assert len(neg) > 0
+        assert len(set(neg.tolist())) == len(neg)
+
+    def test_family_fraction_respected(self):
+        ds = metaclust_like(
+            100, family_fraction=0.7, seed=0, length_range=(50, 80)
+        )
+        in_family = (ds.labels >= 0).sum()
+        assert 55 <= in_family <= 80
+
+    def test_lengths_in_range(self):
+        ds = metaclust_like(
+            30, seed=0, length_range=(100, 200), family_fraction=0.0
+        )
+        lengths = ds.store.lengths()
+        assert lengths.min() >= 100
+        assert lengths.max() <= 200
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            metaclust_like(10, family_fraction=1.5)

@@ -1,0 +1,139 @@
+"""Tests for the min-max heap (paper Algorithms 1-3 data structure)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kmers.minmaxheap import MinMaxHeap
+
+
+class TestBasics:
+    def test_empty(self):
+        h = MinMaxHeap()
+        assert len(h) == 0
+        assert not h
+        with pytest.raises(IndexError):
+            h.find_min()
+        with pytest.raises(IndexError):
+            h.find_max()
+        with pytest.raises(IndexError):
+            h.pop_min()
+        with pytest.raises(IndexError):
+            h.pop_max()
+
+    def test_single(self):
+        h = MinMaxHeap([(5, "a")])
+        assert h.find_min() == (5, "a")
+        assert h.find_max() == (5, "a")
+
+    def test_two(self):
+        h = MinMaxHeap([(5, "a"), (3, "b")])
+        assert h.find_min()[0] == 3
+        assert h.find_max()[0] == 5
+
+    def test_values_attached(self):
+        h = MinMaxHeap()
+        h.push(2, "two")
+        h.push(1, "one")
+        assert h.pop_min() == (1, "one")
+        assert h.pop_min() == (2, "two")
+
+    def test_pop_min_order(self):
+        h = MinMaxHeap((k, None) for k in [5, 1, 9, 3, 7, 2, 8])
+        out = [h.pop_min()[0] for _ in range(len(h))]
+        assert out == sorted(out)
+
+    def test_pop_max_order(self):
+        h = MinMaxHeap((k, None) for k in [5, 1, 9, 3, 7, 2, 8])
+        out = [h.pop_max()[0] for _ in range(len(h))]
+        assert out == sorted(out, reverse=True)
+
+    def test_duplicates(self):
+        h = MinMaxHeap((k, None) for k in [4, 4, 4, 1, 1, 9])
+        assert h.pop_min()[0] == 1
+        assert h.pop_max()[0] == 9
+        assert h.pop_max()[0] == 4
+
+    def test_keys_sorted(self):
+        h = MinMaxHeap((k, None) for k in [3, 1, 2])
+        assert h.keys_sorted() == [1, 2, 3]
+
+
+class TestBounded:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MinMaxHeap(capacity=0)
+
+    def test_push_bounded_requires_capacity(self):
+        with pytest.raises(ValueError):
+            MinMaxHeap().push_bounded(1)
+
+    def test_keeps_m_smallest(self):
+        h = MinMaxHeap(capacity=3)
+        for k in [9, 2, 7, 1, 8, 3]:
+            h.push_bounded(k)
+        assert h.keys_sorted() == [1, 2, 3]
+
+    def test_is_full(self):
+        h = MinMaxHeap(capacity=2)
+        assert not h.is_full()
+        h.push_bounded(1)
+        h.push_bounded(2)
+        assert h.is_full()
+
+    def test_rejects_larger_when_full(self):
+        h = MinMaxHeap(capacity=2)
+        h.push_bounded(1)
+        h.push_bounded(2)
+        assert not h.push_bounded(5)
+        assert h.push_bounded(0)
+        assert h.keys_sorted() == [0, 1]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=80))
+def test_property_min_max_invariant(keys):
+    h = MinMaxHeap((k, None) for k in keys)
+    assert h.find_min()[0] == min(keys)
+    assert h.find_max()[0] == max(keys)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["push", "pop_min", "pop_max"]),
+                  st.integers(-100, 100)),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_property_against_sorted_list_model(ops):
+    h = MinMaxHeap()
+    model: list[int] = []
+    for op, key in ops:
+        if op == "push":
+            h.push(key)
+            model.append(key)
+        elif op == "pop_min" and model:
+            assert h.pop_min()[0] == min(model)
+            model.remove(min(model))
+        elif op == "pop_max" and model:
+            assert h.pop_max()[0] == max(model)
+            model.remove(max(model))
+        if model:
+            assert h.find_min()[0] == min(model)
+            assert h.find_max()[0] == max(model)
+        assert len(h) == len(model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(-1000, 1000), min_size=1, max_size=60),
+    st.integers(1, 10),
+)
+def test_property_bounded_equals_nsmallest(keys, m):
+    h = MinMaxHeap(capacity=m)
+    for k in keys:
+        h.push_bounded(k)
+    assert h.keys_sorted() == sorted(keys)[:m]

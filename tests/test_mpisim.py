@@ -1,0 +1,290 @@
+"""Tests for the simulated MPI runtime."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim.comm import ANY_SOURCE, SimComm, SpmdError, run_spmd
+from repro.mpisim.grid import (
+    ProcessGrid,
+    block_ranges,
+    is_perfect_square,
+    nearest_square,
+)
+from repro.mpisim.tracing import CommTracer, payload_bytes
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        assert run_spmd(2, fn)[1] == {"x": 1}
+
+    def test_fifo_order(self):
+        def fn(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1)
+                return None
+            return [comm.recv(source=0) for _ in range(5)]
+
+        assert run_spmd(2, fn)[1] == [0, 1, 2, 3, 4]
+
+    def test_tags_match_independently(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            b = comm.recv(source=0, tag=2)
+            a = comm.recv(source=0, tag=1)
+            return (a, b)
+
+        assert run_spmd(2, fn)[1] == ("a", "b")
+
+    def test_any_source(self):
+        def fn(comm):
+            if comm.rank == 2:
+                got = {comm.recv(source=ANY_SOURCE) for _ in range(2)}
+                return got
+            comm.send(comm.rank, dest=2)
+            return None
+
+        assert run_spmd(3, fn)[2] == {0, 1}
+
+    def test_isend_irecv_waitall(self):
+        def fn(comm):
+            reqs = []
+            for dst in range(comm.size):
+                if dst != comm.rank:
+                    comm.isend(comm.rank * 10, dest=dst)
+            for src in range(comm.size):
+                if src != comm.rank:
+                    reqs.append(comm.irecv(source=src))
+            vals = SimComm.waitall(reqs)
+            return sorted(vals)
+
+        out = run_spmd(3, fn)
+        assert out[0] == [10, 20]
+        assert out[2] == [0, 10]
+
+    def test_bad_destination(self):
+        with pytest.raises(SpmdError):
+            run_spmd(2, lambda comm: comm.send(1, dest=5))
+
+
+class TestCollectives:
+    def test_barrier(self):
+        assert run_spmd(4, lambda comm: comm.barrier()) == [None] * 4
+
+    def test_bcast(self):
+        def fn(comm):
+            return comm.bcast("payload" if comm.rank == 1 else None, root=1)
+
+        assert run_spmd(3, fn) == ["payload"] * 3
+
+    def test_allgather(self):
+        out = run_spmd(4, lambda comm: comm.allgather(comm.rank ** 2))
+        assert out == [[0, 1, 4, 9]] * 4
+
+    def test_gather(self):
+        out = run_spmd(3, lambda comm: comm.gather(comm.rank, root=1))
+        assert out[0] is None
+        assert out[1] == [0, 1, 2]
+
+    def test_scatter(self):
+        def fn(comm):
+            objs = [f"r{i}" for i in range(comm.size)] if comm.rank == 0 \
+                else None
+            return comm.scatter(objs, root=0)
+
+        assert run_spmd(3, fn) == ["r0", "r1", "r2"]
+
+    def test_scatter_wrong_length(self):
+        def fn(comm):
+            objs = [1] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, fn)
+
+    def test_alltoall(self):
+        def fn(comm):
+            return comm.alltoall(
+                [comm.rank * 10 + dst for dst in range(comm.size)]
+            )
+
+        out = run_spmd(3, fn)
+        assert out[0] == [0, 10, 20]
+        assert out[2] == [2, 12, 22]
+
+    def test_reduce(self):
+        out = run_spmd(
+            4, lambda comm: comm.reduce(comm.rank + 1, lambda a, b: a * b)
+        )
+        assert out[0] == 24
+        assert out[1] is None
+
+    def test_allreduce(self):
+        out = run_spmd(
+            4, lambda comm: comm.allreduce(comm.rank, lambda a, b: a + b)
+        )
+        assert out == [6] * 4
+
+    def test_exscan(self):
+        out = run_spmd(4, lambda comm: comm.exscan(comm.rank + 1))
+        assert out == [0, 1, 3, 6]
+
+    def test_repeated_collectives(self):
+        def fn(comm):
+            total = 0
+            for i in range(20):
+                total += comm.allreduce(i, lambda a, b: a + b)
+            return total
+
+        out = run_spmd(3, fn)
+        assert out == [sum(3 * i for i in range(20))] * 3
+
+    def test_numpy_payloads(self):
+        def fn(comm):
+            arr = np.full(10, comm.rank)
+            gathered = comm.allgather(arr)
+            return sum(int(g.sum()) for g in gathered)
+
+        assert run_spmd(3, fn) == [30] * 3
+
+
+class TestSplit:
+    def test_split_groups(self):
+        def fn(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return (sub.size, sub.rank,
+                    sub.allreduce(comm.rank, lambda a, b: a + b))
+
+        out = run_spmd(4, fn)
+        assert out[0] == (2, 0, 2)   # ranks 0, 2
+        assert out[1] == (2, 0, 4)   # ranks 1, 3
+        assert out[3] == (2, 1, 4)
+
+    def test_split_key_order(self):
+        def fn(comm):
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        out = run_spmd(3, fn)
+        assert out == [2, 1, 0]
+
+
+class TestErrors:
+    def test_exception_propagates(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            comm.barrier()
+
+        with pytest.raises(SpmdError, match="rank 1"):
+            run_spmd(3, fn)
+
+    def test_deadlock_times_out(self):
+        def fn(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, fn, timeout=0.5)
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)
+
+
+class TestTracing:
+    def test_p2p_traced(self):
+        tracer = CommTracer()
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100, dtype=np.float64), dest=1)
+            else:
+                comm.recv(source=0)
+
+        run_spmd(2, fn, tracer=tracer)
+        assert tracer.total_messages == 1
+        assert tracer.total_bytes >= 800
+
+    def test_collective_traced(self):
+        tracer = CommTracer()
+        run_spmd(3, lambda comm: comm.allgather(comm.rank), tracer=tracer)
+        assert tracer.messages_by_kind()["allgather"] == 6  # 3 * (3-1)
+
+    def test_payload_bytes(self):
+        assert payload_bytes(np.zeros(10, dtype=np.int64)) >= 80
+        assert payload_bytes(b"abcd") == 20
+        assert payload_bytes({"a": 1}) > 0
+
+    def test_max_rank_volume(self):
+        tracer = CommTracer()
+        tracer.record(0, 1, 100, "p2p")
+        tracer.record(0, 2, 50, "p2p")
+        assert tracer.max_rank_volume() == 150
+        tracer.clear()
+        assert tracer.total_messages == 0
+
+
+class TestGrid:
+    def test_is_perfect_square(self):
+        assert is_perfect_square(1)
+        assert is_perfect_square(9)
+        assert not is_perfect_square(8)
+
+    def test_nearest_square_paper_values(self):
+        # the paper runs on 64, 121, 256, 529, 1024, 2025 nodes — the
+        # perfect squares nearest to 64, 128, 256, 512, 1024, 2048
+        assert nearest_square(128) == 121
+        assert nearest_square(512) == 529
+        assert nearest_square(2048) == 2025
+        assert nearest_square(64) == 64
+
+    def test_nearest_square_invalid(self):
+        with pytest.raises(ValueError):
+            nearest_square(0)
+
+    def test_block_ranges(self):
+        r = block_ranges(10, 3)
+        assert r == [(0, 4), (4, 7), (7, 10)]
+        assert block_ranges(2, 3) == [(0, 1), (1, 2), (2, 2)]
+
+    def test_grid_coordinates(self):
+        def fn(comm):
+            g = ProcessGrid.create(comm)
+            assert g.rank_of(g.row, g.col) == comm.rank
+            return (g.row, g.col, g.row_comm.size, g.col_comm.size)
+
+        out = run_spmd(9, fn)
+        assert out[4] == (1, 1, 3, 3)
+        assert out[2] == (0, 2, 3, 3)
+
+    def test_grid_requires_square(self):
+        with pytest.raises(SpmdError):
+            run_spmd(6, lambda comm: ProcessGrid.create(comm))
+
+    def test_row_col_blocks(self):
+        def fn(comm):
+            g = ProcessGrid.create(comm)
+            return (g.row_block(10), g.col_block(7))
+
+        out = run_spmd(4, fn)
+        assert out[0] == ((0, 5), (0, 4))
+        assert out[3] == ((5, 10), (4, 7))
+
+    def test_rank_of_bounds(self):
+        def fn(comm):
+            g = ProcessGrid.create(comm)
+            try:
+                g.rank_of(5, 0)
+            except ValueError:
+                return "ok"
+
+        assert run_spmd(4, fn) == ["ok"] * 4

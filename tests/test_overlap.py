@@ -1,0 +1,186 @@
+"""Tests for overlap detection: A/S construction and candidate pairs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.generate import make_family, random_protein
+from repro.bio.scoring import BLOSUM62
+from repro.bio.sequences import SequenceStore
+from repro.core.config import PastisConfig
+from repro.core.overlap import (
+    build_a_triples,
+    build_s_triples,
+    find_candidate_pairs,
+    find_candidate_pairs_semiring,
+)
+from repro.kmers.encoding import kmer_id_from_string
+
+
+class TestBuildA:
+    def test_triples(self, small_store):
+        rows, cols, vals = build_a_triples(small_store, 3)
+        avg = kmer_id_from_string("AVG")
+        # AVG occurs in sequences 0, 1, 3
+        assert set(rows[cols == avg].tolist()) == {0, 1, 3}
+
+    def test_row_offset(self, small_store):
+        rows, _, _ = build_a_triples(small_store, 3, row_offset=100)
+        assert rows.min() >= 100
+
+    def test_positions_are_first_occurrence(self, small_store):
+        rows, cols, vals = build_a_triples(small_store, 3)
+        avg = kmer_id_from_string("AVG")
+        sel = (rows == 0) & (cols == avg)
+        assert vals[sel][0] == 0  # AVG at position 0 (also at 8)
+
+
+class TestBuildS:
+    def test_identity_included(self):
+        kid = kmer_id_from_string("AAC")
+        rows, cols, dists = build_s_triples(
+            np.array([kid]), 3, 2, BLOSUM62
+        )
+        d = {(r, c): v for r, c, v in zip(rows, cols, dists)}
+        assert d[(kid, kid)] == 0
+
+    def test_m_substitutes_per_row(self):
+        kid = kmer_id_from_string("AAC")
+        rows, _, _ = build_s_triples(np.array([kid]), 3, 5, BLOSUM62)
+        assert len(rows) == 6  # identity + 5
+
+    def test_m_zero_only_identity(self):
+        kid = kmer_id_from_string("AAC")
+        rows, cols, dists = build_s_triples(np.array([kid]), 3, 0, BLOSUM62)
+        assert len(rows) == 1
+        assert dists[0] == 0
+
+    def test_restrict_to_prunes_absent_columns(self):
+        kid = kmer_id_from_string("AAC")
+        present = np.array(sorted([kid, kmer_id_from_string("SAC")]))
+        rows, cols, dists = build_s_triples(
+            np.array([kid]), 3, 10, BLOSUM62, restrict_to=present
+        )
+        assert set(cols.tolist()) <= set(present.tolist())
+        assert kmer_id_from_string("SAC") in cols.tolist()
+
+    def test_distances_match_substitute_search(self):
+        kid = kmer_id_from_string("AAC")
+        rows, cols, dists = build_s_triples(np.array([kid]), 3, 3, BLOSUM62)
+        sac = kmer_id_from_string("SAC")
+        sel = cols == sac
+        assert dists[sel][0] == 3
+
+
+class TestExactPairs:
+    def test_known_pairs(self, small_store):
+        cfg = PastisConfig(k=3, substitutes=0)
+        pairs = find_candidate_pairs(small_store, cfg)
+        ps = pairs.pair_set()
+        assert (0, 1) in ps   # share AVG and DMI
+        assert (0, 3) in ps   # near duplicates
+        assert (2, 3) not in ps  # WWWWYYYY shares nothing
+        assert all(i < j for i, j in ps)
+
+    def test_counts(self, small_store):
+        cfg = PastisConfig(k=3, substitutes=0)
+        pairs = find_candidate_pairs(small_store, cfg).sort()
+        d = {(int(i), int(j)): int(c)
+             for i, j, c in zip(pairs.ri, pairs.rj, pairs.counts)}
+        # s0=AVGDMIKRAVG, s3=AVGDMIKRAV share all 8 3-mers of s3
+        assert d[(0, 3)] == 8
+
+    def test_seed_positions_valid(self, small_store):
+        cfg = PastisConfig(k=3, substitutes=0)
+        pairs = find_candidate_pairs(small_store, cfg)
+        for p in range(pairs.npairs):
+            i, j = int(pairs.ri[p]), int(pairs.rj[p])
+            for (pi, pj) in pairs.seeds_of(p):
+                ki = small_store.encoded(i)[pi:pi + 3]
+                kj = small_store.encoded(j)[pj:pj + 3]
+                assert (ki == kj).all()  # exact mode: seeds really match
+
+    def test_ck_threshold(self, small_store):
+        cfg = PastisConfig(k=3, substitutes=0)
+        pairs = find_candidate_pairs(small_store, cfg)
+        kept = pairs.apply_ck_threshold(1)
+        assert kept.npairs <= pairs.npairs
+        assert (kept.counts > 1).all()
+
+    def test_ck_none_is_noop(self, small_store):
+        cfg = PastisConfig(k=3, substitutes=0)
+        pairs = find_candidate_pairs(small_store, cfg)
+        assert pairs.apply_ck_threshold(None) is pairs
+
+    def test_no_pairs_when_nothing_shared(self):
+        store = SequenceStore(["AVGDMI", "WWWWWW", "PPPPPP"])
+        cfg = PastisConfig(k=3, substitutes=0)
+        assert find_candidate_pairs(store, cfg).npairs == 0
+
+
+class TestSubstitutePairs:
+    def test_substitutes_find_more(self):
+        # family members with moderate divergence: substitutes raise the
+        # number of candidate pairs (the paper's recall mechanism)
+        fam = make_family(6, 60, 0.35, 0, indel_rate=0.0)
+        store = SequenceStore(fam)
+        exact = find_candidate_pairs(store, PastisConfig(k=4, substitutes=0))
+        subs = find_candidate_pairs(store, PastisConfig(k=4, substitutes=8))
+        assert subs.npairs >= exact.npairs
+        assert exact.pair_set() <= subs.pair_set()
+
+    def test_exact_pairs_survive_through_identity(self, small_store):
+        cfg0 = PastisConfig(k=3, substitutes=0)
+        cfg5 = PastisConfig(k=3, substitutes=5)
+        exact = find_candidate_pairs(small_store, cfg0)
+        subs = find_candidate_pairs(small_store, cfg5)
+        assert exact.pair_set() <= subs.pair_set()
+
+    def test_counts_at_least_exact(self, small_store):
+        cfg0 = PastisConfig(k=3, substitutes=0)
+        cfg5 = PastisConfig(k=3, substitutes=5)
+        e = find_candidate_pairs(small_store, cfg0).sort()
+        s = find_candidate_pairs(small_store, cfg5).sort()
+        se = {(int(i), int(j)): int(c)
+              for i, j, c in zip(e.ri, e.rj, e.counts)}
+        ss = {(int(i), int(j)): int(c)
+              for i, j, c in zip(s.ri, s.rj, s.counts)}
+        for pair, c in se.items():
+            assert ss[pair] >= c
+
+
+class TestAgainstSemiringReference:
+    @pytest.mark.parametrize("subs", [0, 4])
+    def test_family_store(self, subs):
+        fam = make_family(5, 50, 0.25, 1, indel_rate=0.01)
+        fam += [random_protein(45, 2)]
+        store = SequenceStore(fam)
+        cfg = PastisConfig(k=4, substitutes=subs)
+        fast = find_candidate_pairs(store, cfg).sort()
+        ref = find_candidate_pairs_semiring(store, cfg)
+        assert fast.pair_set() == ref.pair_set()
+        assert fast.counts.tolist() == ref.counts.tolist()
+        assert np.array_equal(
+            np.sort(fast.seed_dist, axis=1), np.sort(ref.seed_dist, axis=1)
+        )
+        assert np.array_equal(
+            np.sort(fast.seed_pos_i, axis=1),
+            np.sort(ref.seed_pos_i, axis=1),
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        subs=st.sampled_from([0, 3]),
+        k=st.sampled_from([3, 4]),
+    )
+    def test_property_paths_agree(self, seed, subs, k):
+        rng = np.random.default_rng(seed)
+        seqs = make_family(4, 40, 0.3, rng) + [random_protein(35, rng)]
+        store = SequenceStore(seqs)
+        cfg = PastisConfig(k=k, substitutes=subs)
+        fast = find_candidate_pairs(store, cfg).sort()
+        ref = find_candidate_pairs_semiring(store, cfg)
+        assert fast.pair_set() == ref.pair_set()
+        assert fast.counts.tolist() == ref.counts.tolist()

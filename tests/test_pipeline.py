@@ -1,0 +1,120 @@
+"""Tests for the single-process pipeline and the similarity graph."""
+
+import numpy as np
+import pytest
+
+from repro.bio.generate import scope_like
+from repro.bio.sequences import SequenceStore
+from repro.core.config import PastisConfig
+from repro.core.graph import SimilarityGraph
+from repro.core.pipeline import pastis_pipeline
+
+
+class TestSimilarityGraph:
+    def test_from_edges_normalises(self):
+        g = SimilarityGraph.from_edges(5, [(3, 1, 0.5), (0, 2, 0.9)])
+        assert g.edge_set() == {(1, 3), (0, 2)}
+
+    def test_from_edges_dedupes_keeping_max(self):
+        g = SimilarityGraph.from_edges(4, [(0, 1, 0.5), (1, 0, 0.8)])
+        assert g.nedges == 1
+        assert g.weights[0] == 0.8
+
+    def test_empty(self):
+        g = SimilarityGraph.from_edges(3, [])
+        assert g.nedges == 0
+        assert g.degrees().tolist() == [0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimilarityGraph(3, np.array([1]), np.array([1]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            SimilarityGraph(3, np.array([0]), np.array([5]), np.array([1.0]))
+
+    def test_to_scipy_symmetric(self):
+        g = SimilarityGraph.from_edges(3, [(0, 1, 0.5)])
+        m = g.to_scipy()
+        assert m[0, 1] == 0.5
+        assert m[1, 0] == 0.5
+        assert m.shape == (3, 3)
+
+    def test_to_networkx(self):
+        g = SimilarityGraph.from_edges(4, [(0, 1, 0.5), (1, 2, 0.7)])
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 2
+        assert nxg[0][1]["weight"] == 0.5
+
+    def test_degrees(self):
+        g = SimilarityGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert g.degrees().tolist() == [1, 2, 1, 0]
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return scope_like(
+            n_families=4, members_per_family=(3, 4),
+            length_range=(50, 80), divergence=0.15, seed=21,
+        )
+
+    def test_finds_family_edges(self, data):
+        g = pastis_pipeline(data.store, PastisConfig(k=4, substitutes=0))
+        # most edges connect same-family sequences at this divergence
+        same = sum(
+            data.labels[i] == data.labels[j] for i, j in g.edge_set()
+        )
+        assert g.nedges > 0
+        assert same / g.nedges > 0.9
+
+    def test_ani_weights_in_unit_interval(self, data):
+        g = pastis_pipeline(data.store, PastisConfig(k=4, weight="ani"))
+        assert (g.weights > 0).all()
+        assert (g.weights <= 1.0).all()
+        # the filter guarantees >= 30 % identity
+        assert (g.weights >= 0.30).all()
+
+    def test_ns_mode_no_filter(self, data):
+        cfg_ani = PastisConfig(k=4, weight="ani")
+        cfg_ns = PastisConfig(k=4, weight="ns")
+        g_ani = pastis_pipeline(data.store, cfg_ani)
+        g_ns = pastis_pipeline(data.store, cfg_ns)
+        # NS applies no veto, so it keeps at least as many edges
+        assert g_ns.nedges >= g_ani.nedges
+
+    def test_sw_vs_xd_edges_similar(self, data):
+        g_sw = pastis_pipeline(data.store, PastisConfig(k=4, align_mode="sw"))
+        g_xd = pastis_pipeline(data.store, PastisConfig(k=4, align_mode="xd"))
+        inter = len(g_sw.edge_set() & g_xd.edge_set())
+        union = len(g_sw.edge_set() | g_xd.edge_set())
+        assert inter / union > 0.8
+
+    def test_ck_reduces_alignments(self, data):
+        g = pastis_pipeline(data.store, PastisConfig(k=4))
+        g_ck = pastis_pipeline(data.store, PastisConfig(k=4).default_ck())
+        assert g_ck.meta["aligned_pairs"] <= g.meta["aligned_pairs"]
+
+    def test_meta_recorded(self, data):
+        g = pastis_pipeline(data.store, PastisConfig(k=4))
+        assert g.meta["variant"] == "PASTIS-XD-s0"
+        assert g.meta["aligned_pairs"] >= g.nedges
+        assert g.meta["overlap_seconds"] >= 0
+        assert g.meta["align_seconds"] >= 0
+
+    def test_ids_propagated(self, data):
+        g = pastis_pipeline(data.store, PastisConfig(k=4))
+        assert g.ids == data.store.ids
+
+    def test_no_edges_for_unrelated(self):
+        store = SequenceStore(
+            ["AVGDMIKRW" * 5, "PPPPPPPPP" * 5, "YYYYWWWWH" * 5]
+        )
+        g = pastis_pipeline(store, PastisConfig(k=4))
+        assert g.nedges == 0
+
+    def test_substitutes_never_lose_edges(self, data):
+        g0 = pastis_pipeline(data.store, PastisConfig(k=5, substitutes=0))
+        g5 = pastis_pipeline(data.store, PastisConfig(k=5, substitutes=5))
+        # substitute k-mers only add candidate pairs; the aligner/filter is
+        # unchanged, so the edge set can only grow
+        assert g0.edge_set() <= g5.edge_set()

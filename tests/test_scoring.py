@@ -1,0 +1,141 @@
+"""Tests for scoring matrices and the expense matrix E."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bio.alphabet import ALPHABET_SIZE, BASE_TO_INDEX, PROTEIN_ALPHABET
+from repro.bio.scoring import (
+    BLOSUM45,
+    BLOSUM62,
+    BLOSUM80,
+    PAM250,
+    ExpenseMatrix,
+    ScoringMatrix,
+    get_matrix,
+)
+
+ALL = [BLOSUM45, BLOSUM62, BLOSUM80, PAM250]
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("m", ALL, ids=lambda m: m.name)
+    def test_symmetric(self, m):
+        assert (m.matrix == m.matrix.T).all()
+
+    @pytest.mark.parametrize("m", ALL, ids=lambda m: m.name)
+    def test_shape(self, m):
+        assert m.matrix.shape == (24, 24)
+
+    def test_blosum62_known_values(self):
+        # Fig. 6 of the paper
+        assert BLOSUM62.score("A", "A") == 4
+        assert BLOSUM62.score("C", "C") == 9
+        assert BLOSUM62.score("W", "W") == 11
+        assert BLOSUM62.score("A", "S") == 1
+        assert BLOSUM62.score("A", "C") == 0
+        assert BLOSUM62.score("C", "M") == -1
+        assert BLOSUM62.score("*", "*") == 1
+        assert BLOSUM62.score("A", "*") == -4
+
+    def test_diagonal_positive_for_canonical(self):
+        diag = np.diag(BLOSUM62.matrix)[:20]
+        assert (diag > 0).all()
+
+    def test_score_indices(self):
+        i, j = BASE_TO_INDEX["A"], BASE_TO_INDEX["S"]
+        assert BLOSUM62.score_indices(i, j) == 1
+
+    def test_self_score(self):
+        seq = np.array([BASE_TO_INDEX[c] for c in "AAC"])
+        # paper: AAC exact match scores 4 + 4 + 9 = 17
+        assert BLOSUM62.self_score(seq) == 17
+
+    def test_kmer_match_score_paper_examples(self):
+        aac = np.array([BASE_TO_INDEX[c] for c in "AAC"])
+        sac = np.array([BASE_TO_INDEX[c] for c in "SAC"])
+        asc = np.array([BASE_TO_INDEX[c] for c in "ASC"])
+        ssc = np.array([BASE_TO_INDEX[c] for c in "SSC"])
+        assert BLOSUM62.kmer_match_score(aac, aac) == 17
+        assert BLOSUM62.kmer_match_score(aac, sac) == 14
+        assert BLOSUM62.kmer_match_score(aac, asc) == 14
+        assert BLOSUM62.kmer_match_score(aac, ssc) == 11
+
+    def test_kmer_match_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BLOSUM62.kmer_match_score(np.array([0]), np.array([0, 1]))
+
+    def test_get_matrix(self):
+        assert get_matrix("blosum62") is BLOSUM62
+        assert get_matrix("BLOSUM45") is BLOSUM45
+        with pytest.raises(KeyError):
+            get_matrix("blosum999")
+
+    def test_asymmetric_rejected(self):
+        bad = np.zeros((24, 24), dtype=np.int32)
+        bad[0, 1] = 5
+        with pytest.raises(ValueError, match="symmetric"):
+            ScoringMatrix("bad", bad)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ScoringMatrix("bad", np.zeros((20, 20), dtype=np.int32))
+
+
+class TestExpenseMatrix:
+    @pytest.fixture
+    def E(self):
+        return BLOSUM62.expense_matrix()
+
+    def test_rows_ascending(self, E):
+        assert (np.diff(E.costs, axis=1) >= 0).all()
+
+    def test_identity_cost_zero(self, E):
+        # substituting a base by itself always costs exactly 0
+        for i in range(ALPHABET_SIZE):
+            pos = np.nonzero(E.bases[i] == i)[0][0]
+            assert E.costs[i, pos] == 0
+
+    def test_canonical_identity_first(self, E):
+        # for the 20 canonical residues the diagonal is the row maximum,
+        # so the zero-cost identity sorts first
+        for i in range(20):
+            assert E.costs[i, 0] == 0
+            assert E.bases[i, 0] == i
+
+    def test_paper_cheapest_substitution_for_A(self, E):
+        # paper: "the base A can be substituted with S for the least
+        # amount of penalty" -> E[A][1] == (3, S)
+        cost, base = E.cheapest_substitution(BASE_TO_INDEX["A"])
+        assert cost == 3
+        assert PROTEIN_ALPHABET[base] == "S"
+
+    def test_paper_first_row_values(self, E):
+        # paper example: E[A] begins (0,A), (3,S), (4,C), (4,G), ...
+        a = BASE_TO_INDEX["A"]
+        assert E.costs[a, 0] == 0
+        assert E.costs[a, 1] == 3
+        assert E.costs[a, 2] == 4
+        assert E.costs[a, 3] == 4
+
+    def test_ambiguity_row_can_go_negative(self, E):
+        # X scores -1 against itself but 0 against S: substitution "gains"
+        x = BASE_TO_INDEX["X"]
+        assert E.costs[x, 0] < 0
+
+    def test_substitution_cost_consistency(self, E):
+        c = BLOSUM62.matrix
+        for i in (0, 4, 22):
+            for j in (0, 1, 5):
+                assert E.substitution_cost(i, j) == c[i, i] - c[i, j]
+
+    @given(st.integers(0, 23), st.integers(0, 23))
+    def test_cost_matches_definition(self, i, j):
+        E = BLOSUM62.expense_matrix()
+        c = BLOSUM62.matrix
+        assert E.substitution_cost(i, j) == int(c[i, i] - c[i, j])
+
+    def test_every_base_present_per_row(self, E):
+        for i in range(ALPHABET_SIZE):
+            assert sorted(E.bases[i].tolist()) == list(range(ALPHABET_SIZE))

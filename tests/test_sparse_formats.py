@@ -1,0 +1,192 @@
+"""Tests for COO, CSR, and DCSC sparse formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.dcsc import DCSCMatrix
+
+
+def random_coo(rng, nrows=20, ncols=30, nnz=40) -> COOMatrix:
+    rows = rng.integers(0, nrows, nnz)
+    cols = rng.integers(0, ncols, nnz)
+    vals = rng.integers(1, 100, nnz)
+    coo = COOMatrix(nrows, ncols, rows, cols, vals)
+    return coo.sum_duplicates(lambda a, b: a + b)
+
+
+class TestCOO:
+    def test_basic(self):
+        m = COOMatrix(3, 4, [0, 2], [1, 3], [10, 20])
+        assert m.shape == (3, 4)
+        assert m.nnz == 2
+        assert list(m) == [(0, 1, 10), (2, 3, 20)]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            COOMatrix(3, 3, [0], [1, 2], [5])
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            COOMatrix(3, 3, [3], [0], [1])
+        with pytest.raises(ValueError):
+            COOMatrix(3, 3, [0], [-1], [1])
+
+    def test_empty(self):
+        m = COOMatrix.empty(5, 6)
+        assert m.nnz == 0
+        assert m.shape == (5, 6)
+
+    def test_transpose(self):
+        m = COOMatrix(2, 3, [0, 1], [2, 0], [7, 8])
+        t = m.transpose()
+        assert t.shape == (3, 2)
+        assert t.to_dict() == {(2, 0): 7, (0, 1): 8}
+
+    def test_sort_stable(self):
+        m = COOMatrix(3, 3, [1, 0, 1], [0, 2, 0], ["x", "y", "z"])
+        s = m.sort()
+        assert s.rows.tolist() == [0, 1, 1]
+        assert s.vals.tolist() == ["y", "x", "z"]  # duplicates keep order
+
+    def test_sum_duplicates(self):
+        m = COOMatrix(2, 2, [0, 0, 1], [1, 1, 0], [3, 4, 5])
+        r = m.sum_duplicates(lambda a, b: a + b)
+        assert r.to_dict() == {(0, 1): 7, (1, 0): 5}
+
+    def test_sum_duplicates_object_values(self):
+        vals = np.empty(2, dtype=object)
+        vals[0] = (1,)
+        vals[1] = (2,)
+        m = COOMatrix(2, 2, [0, 0], [0, 0], vals)
+        r = m.sum_duplicates(lambda a, b: a + b)
+        assert r.vals[0] == (1, 2)
+
+    def test_filter(self):
+        m = COOMatrix(3, 3, [0, 1, 2], [0, 1, 2], [1, 2, 3])
+        f = m.filter(np.array([True, False, True]))
+        assert f.nnz == 2
+
+    def test_map_values(self):
+        m = COOMatrix(2, 2, [0, 1], [1, 0], [3, 4])
+        r = m.map_values(lambda v: v * 10)
+        assert sorted(v for _, _, v in r) == [30, 40]
+
+    def test_to_dict_rejects_duplicates(self):
+        m = COOMatrix(2, 2, [0, 0], [1, 1], [1, 2])
+        with pytest.raises(ValueError):
+            m.to_dict()
+
+    def test_scipy_roundtrip(self):
+        rng = np.random.default_rng(0)
+        m = random_coo(rng)
+        back = COOMatrix.from_scipy(m.to_scipy())
+        assert back.to_dict() == {
+            k: float(v) for k, v in m.to_dict().items()
+        }
+
+    def test_huge_dimensions_ok(self):
+        # hypersparse: dimensions far beyond nnz must not allocate
+        m = COOMatrix(10**6, 24**6, [5], [24**6 - 1], [1])
+        assert m.nnz == 1
+
+
+class TestCSR:
+    def test_from_coo_roundtrip(self):
+        rng = np.random.default_rng(1)
+        coo = random_coo(rng)
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.nnz == coo.nnz
+        assert csr.to_coo().sort().to_dict() == coo.to_dict()
+
+    def test_row_access(self):
+        coo = COOMatrix(3, 5, [1, 1, 2], [4, 0, 2], [7, 8, 9])
+        csr = CSRMatrix.from_coo(coo)
+        cols, vals = csr.row(1)
+        assert cols.tolist() == [0, 4]
+        assert vals.tolist() == [8, 7]
+        cols0, _ = csr.row(0)
+        assert len(cols0) == 0
+
+    def test_row_nnz(self):
+        coo = COOMatrix(3, 5, [1, 1, 2], [4, 0, 2], [7, 8, 9])
+        assert CSRMatrix.from_coo(coo).row_nnz().tolist() == [0, 2, 1]
+
+    def test_get(self):
+        coo = COOMatrix(3, 5, [1], [4], [7])
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.get(1, 4) == 7
+        assert csr.get(1, 3) is None
+        assert csr.get(0, 0, default=-1) == -1
+
+    def test_transpose(self):
+        rng = np.random.default_rng(2)
+        coo = random_coo(rng)
+        t = CSRMatrix.from_coo(coo).transpose()
+        assert t.shape == (coo.ncols, coo.nrows)
+        assert t.to_coo().to_dict() == {
+            (c, r): v for (r, c), v in coo.to_dict().items()
+        }
+
+    def test_bad_indptr(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1]))
+
+
+class TestDCSC:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(3)
+        coo = random_coo(rng)
+        d = DCSCMatrix.from_coo(coo)
+        assert d.nnz == coo.nnz
+        assert d.to_coo().sort().to_dict() == coo.to_dict()
+
+    def test_empty(self):
+        d = DCSCMatrix.from_coo(COOMatrix.empty(5, 10))
+        assert d.nnz == 0
+        assert d.nzc == 0
+        assert d.to_coo().nnz == 0
+
+    def test_column_access(self):
+        coo = COOMatrix(6, 100, [3, 1, 5], [40, 40, 7], [1, 2, 3])
+        d = DCSCMatrix.from_coo(coo)
+        rows, vals = d.column(40)
+        assert rows.tolist() == [1, 3]
+        assert vals.tolist() == [2, 1]
+        rows_empty, _ = d.column(50)
+        assert len(rows_empty) == 0
+
+    def test_get(self):
+        coo = COOMatrix(6, 100, [3], [40], [9])
+        d = DCSCMatrix.from_coo(coo)
+        assert d.get(3, 40) == 9
+        assert d.get(3, 41) is None
+
+    def test_nzc_counts_nonempty_columns(self):
+        coo = COOMatrix(6, 1000, [0, 1, 2], [5, 5, 900], [1, 1, 1])
+        d = DCSCMatrix.from_coo(coo)
+        assert d.nzc == 2
+
+    def test_hypersparse_memory_advantage(self):
+        # the paper's motivation: nnz << ncols makes CSC pointers dominate
+        coo = COOMatrix(100, 24**6, [0, 1], [123, 456789], [1, 1])
+        d = DCSCMatrix.from_coo(coo)
+        assert d.memory_words() < d.csc_memory_words() / 1000
+
+    def test_iter_columns(self):
+        coo = COOMatrix(6, 100, [3, 1, 5], [40, 40, 7], [1, 2, 3])
+        d = DCSCMatrix.from_coo(coo)
+        cols = {c: rows.tolist() for c, rows, _ in d.iter_columns()}
+        assert cols == {7: [5], 40: [1, 3]}
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_property_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        coo = random_coo(rng, nrows=15, ncols=200, nnz=25)
+        assert DCSCMatrix.from_coo(coo).to_coo().sort().to_dict() == (
+            coo.to_dict()
+        )

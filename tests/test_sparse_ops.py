@@ -1,0 +1,85 @@
+"""Tests for structural sparse operations (triu, symmetrize, prune, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.ops import (
+    diagonal_mask,
+    prune,
+    symmetrize,
+    tril,
+    triu,
+)
+
+
+@pytest.fixture
+def mat():
+    # 4x4 with entries above, on, and below the diagonal
+    return COOMatrix(
+        4, 4, [0, 1, 2, 3, 0], [2, 1, 0, 3, 0], [1, 2, 3, 4, 5]
+    )
+
+
+class TestTriangles:
+    def test_triu_strict(self, mat):
+        u = triu(mat, k=1)
+        assert u.to_dict() == {(0, 2): 1}
+
+    def test_triu_with_diagonal(self, mat):
+        u = triu(mat, k=0)
+        assert set(u.to_dict()) == {(0, 2), (1, 1), (3, 3), (0, 0)}
+
+    def test_tril(self, mat):
+        l = tril(mat, k=-1)
+        assert l.to_dict() == {(2, 0): 3}
+
+    def test_triu_tril_partition(self, mat):
+        assert triu(mat, 1).nnz + tril(mat, 0).nnz == mat.nnz
+
+
+class TestSymmetrize:
+    def test_union_pattern(self):
+        m = COOMatrix(3, 3, [0, 1], [1, 2], [5, 7])
+        s = symmetrize(m)
+        assert set(s.to_dict()) == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_merge_prefers_first(self):
+        m = COOMatrix(2, 2, [0, 1], [1, 0], ["fwd", "bwd"])
+        s = symmetrize(m)
+        d = s.to_dict()
+        # original entries come first in the merge
+        assert d[(0, 1)] == "fwd"
+        assert d[(1, 0)] == "bwd"
+
+    def test_custom_merge(self):
+        m = COOMatrix(2, 2, [0, 1], [1, 0], [3, 9])
+        s = symmetrize(m, merge=max)
+        assert s.to_dict() == {(0, 1): 9, (1, 0): 9}
+
+    def test_result_is_symmetric(self):
+        rng = np.random.default_rng(0)
+        m = COOMatrix(6, 6, rng.integers(0, 6, 10), rng.integers(0, 6, 10),
+                      rng.integers(1, 5, 10)).sum_duplicates(max)
+        s = symmetrize(m, merge=max)
+        d = s.to_dict()
+        for (r, c), v in d.items():
+            assert d[(c, r)] == v
+
+
+class TestPruneAndMask:
+    def test_prune(self, mat):
+        p = prune(mat, lambda v: v >= 3)
+        assert set(p.to_dict().values()) == {3, 4, 5}
+
+    def test_prune_all(self, mat):
+        assert prune(mat, lambda v: False).nnz == 0
+
+    def test_diagonal_mask_removes(self, mat):
+        m = diagonal_mask(mat)
+        assert all(r != c for r, c, _ in m)
+
+    def test_diagonal_mask_keeps(self, mat):
+        m = diagonal_mask(mat, keep_diagonal=True)
+        assert all(r == c for r, c, _ in m)
+        assert m.nnz == 3

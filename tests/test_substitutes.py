@@ -1,0 +1,151 @@
+"""Tests for the m-nearest substitute k-mer search (Algorithms 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.alphabet import BASE_TO_INDEX, decode_sequence, encode_sequence
+from repro.bio.scoring import BLOSUM62
+from repro.kmers.substitutes import (
+    brute_force_substitutes,
+    find_substitute_kmers,
+    kmer_distance,
+    substitute_kmer_ids,
+)
+
+
+def _dist_of(results):
+    return [s.distance for s in results]
+
+
+class TestKmerDistance:
+    def test_identity_zero(self):
+        r = encode_sequence("AVGDMI")
+        assert kmer_distance(r, r) == 0
+
+    def test_paper_sac(self):
+        # AAC -> SAC: expense 3 (match 17 -> 14)
+        assert kmer_distance(encode_sequence("AAC"),
+                             encode_sequence("SAC")) == 3
+
+    def test_paper_ssc(self):
+        assert kmer_distance(encode_sequence("AAC"),
+                             encode_sequence("SSC")) == 6
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kmer_distance(encode_sequence("AA"), encode_sequence("AAC"))
+
+
+class TestPaperExamples:
+    def test_aac_nearest_are_single_A_substitutions(self):
+        root = encode_sequence("AAC")
+        subs = find_substitute_kmers(root, 2)
+        # SAC and ASC, both at distance 3
+        got = {decode_sequence(np.array(s.indices)) for s in subs}
+        assert got == {"SAC", "ASC"}
+        assert all(s.distance == 3 for s in subs)
+
+    def test_multi_substitution_beats_expensive_single(self):
+        # paper: {T|C|G}{T|C|G}C (distance 8) is closer to AAC than AA*
+        # with a substituted C (distance >= 10)
+        root = encode_sequence("AAC")
+        ttc = encode_sequence("TTC")
+        aam = encode_sequence("AAM")
+        assert kmer_distance(root, ttc) == 8
+        assert kmer_distance(root, aam) == 10
+        subs = find_substitute_kmers(root, 400)
+        names = [decode_sequence(np.array(s.indices)) for s in subs]
+        assert "TTC" in names
+        assert "AAM" in names
+        assert names.index("TTC") < names.index("AAM")
+
+    def test_root_never_returned(self):
+        root = encode_sequence("AVG")
+        subs = find_substitute_kmers(root, 100)
+        assert all(tuple(root) != s.indices for s in subs)
+
+
+class TestSearch:
+    def test_m_zero(self):
+        assert find_substitute_kmers(encode_sequence("AVG"), 0) == []
+
+    def test_m_negative(self):
+        with pytest.raises(ValueError):
+            find_substitute_kmers(encode_sequence("AVG"), -1)
+
+    def test_empty_kmer(self):
+        assert find_substitute_kmers(np.array([], dtype=np.int64), 5) == []
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            find_substitute_kmers(np.array([0, 99]), 3)
+
+    def test_distances_non_decreasing(self):
+        subs = find_substitute_kmers(encode_sequence("AVGD"), 50)
+        d = _dist_of(subs)
+        assert d == sorted(d)
+
+    def test_exactly_m_results(self):
+        subs = find_substitute_kmers(encode_sequence("AVG"), 25)
+        assert len(subs) == 25
+
+    def test_all_distinct(self):
+        subs = find_substitute_kmers(encode_sequence("AVG"), 60)
+        assert len({s.indices for s in subs}) == len(subs)
+
+    def test_k1_exhausts_alphabet(self):
+        subs = find_substitute_kmers(np.array([0]), 100)
+        assert len(subs) == 23  # |Sigma| - 1 candidates exist
+
+    def test_ambiguity_code_negative_distances(self):
+        # X scores -1 vs itself, 0 vs A/S/T: substitutes are *closer* than
+        # the root itself under the expense definition
+        subs = find_substitute_kmers(encode_sequence("XXX"), 5)
+        assert subs[0].distance < 0
+
+    def test_substitute_kmer_ids(self):
+        from repro.kmers.encoding import kmer_id_from_string
+
+        pairs = substitute_kmer_ids(kmer_id_from_string("AAC"), 3, 2)
+        ids = {p[0] for p in pairs}
+        assert kmer_id_from_string("SAC") in ids
+        assert kmer_id_from_string("ASC") in ids
+        assert all(d == 3 for _, d in pairs)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("kmer", ["AAC", "AVG", "WCM", "RR", "KE"])
+    @pytest.mark.parametrize("m", [1, 5, 20])
+    def test_known_kmers(self, kmer, m):
+        root = encode_sequence(kmer)
+        fast = find_substitute_kmers(root, m)
+        brute = brute_force_substitutes(root, m)
+        assert _dist_of(fast) == _dist_of(brute)
+        # candidates strictly closer than the boundary distance must agree
+        boundary = brute[-1].distance
+        fast_inner = {s.indices for s in fast if s.distance < boundary}
+        brute_inner = {s.indices for s in brute if s.distance < boundary}
+        assert fast_inner == brute_inner
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        indices=st.lists(st.integers(0, 23), min_size=1, max_size=3),
+        m=st.integers(1, 30),
+    )
+    def test_property_distance_multiset_matches(self, indices, m):
+        root = np.array(indices, dtype=np.int64)
+        fast = find_substitute_kmers(root, m)
+        brute = brute_force_substitutes(root, m)
+        assert _dist_of(fast) == _dist_of(brute)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        indices=st.lists(st.integers(0, 23), min_size=2, max_size=3),
+        m=st.integers(1, 25),
+    )
+    def test_property_every_result_verifies(self, indices, m):
+        root = np.array(indices, dtype=np.int64)
+        for s in find_substitute_kmers(root, m):
+            assert kmer_distance(root, np.array(s.indices)) == s.distance
