@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
                    "single-process pipeline")
     p.add_argument("--threads", type=int, default=1,
                    help="alignment threads per process")
+    p.add_argument("--kernel", choices=("join", "numeric", "semiring"),
+                   default="join",
+                   help="single-process overlap kernel: NumPy join "
+                   "(default), numeric SpGEMM fast path, or the generic "
+                   "semiring reference; ignored with --ranks > 1 (the "
+                   "distributed pipeline always uses SUMMA)")
     p.add_argument("--cluster", metavar="TSV", default=None,
                    help="also run Markov Clustering and write "
                    "(id, cluster) rows to this file")
@@ -86,6 +92,7 @@ def main(argv: list[str] | None = None) -> int:
         min_identity=args.min_identity,
         min_coverage=args.min_coverage,
         align_threads=args.threads,
+        kernel=args.kernel,
     )
 
     t0 = time.perf_counter()
@@ -103,6 +110,9 @@ def main(argv: list[str] | None = None) -> int:
 
     t0 = time.perf_counter()
     if args.ranks > 1:
+        if args.kernel != "join":
+            print(f"warning: --kernel {args.kernel} is ignored with "
+                  f"--ranks > 1 (distributed SUMMA)", file=sys.stderr)
         graph = run_pastis_distributed(store, config, nranks=args.ranks)
     else:
         graph = pastis_pipeline(store, config)

@@ -15,6 +15,7 @@ from .overlap import (
     build_a_triples,
     build_s_triples,
     find_candidate_pairs,
+    find_candidate_pairs_numeric,
     find_candidate_pairs_semiring,
 )
 from .pipeline import align_candidates, edge_weight, pastis_pipeline
@@ -24,7 +25,9 @@ from .semirings import (
     SeedHit,
     exact_overlap_semiring,
     merge_common_kmers,
+    substitute_as_numeric_semiring,
     substitute_as_semiring,
+    substitute_overlap_encoded_semiring,
     substitute_overlap_semiring,
 )
 
@@ -42,6 +45,7 @@ __all__ = [
     "build_a_triples",
     "build_s_triples",
     "find_candidate_pairs",
+    "find_candidate_pairs_numeric",
     "find_candidate_pairs_semiring",
     "align_candidates",
     "edge_weight",
@@ -51,6 +55,8 @@ __all__ = [
     "SeedHit",
     "exact_overlap_semiring",
     "merge_common_kmers",
+    "substitute_as_numeric_semiring",
     "substitute_as_semiring",
+    "substitute_overlap_encoded_semiring",
     "substitute_overlap_semiring",
 ]

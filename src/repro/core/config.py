@@ -36,6 +36,12 @@ class PastisConfig:
     weight:
         Edge weighting: ``"ani"`` (identity; implies the similarity filter)
         or ``"ns"`` (normalized raw score; the paper applies no cut-off).
+    kernel:
+        Overlap-detection kernel: ``"join"`` (vectorized NumPy sort-merge
+        join, the default), ``"numeric"`` (sparse-matrix formulation on the
+        numeric SpGEMM fast path), or ``"semiring"`` (generic object
+        semirings — the literal, slow reference).  All three produce
+        identical output (a tested invariant).
     """
 
     k: int = 6
@@ -51,10 +57,15 @@ class PastisConfig:
     min_coverage: float = 0.70
     max_seeds: int = 2
     align_threads: int = 1
+    kernel: str = "join"
 
     def __post_init__(self) -> None:
         if self.align_mode not in ("xd", "sw"):
             raise ValueError("align_mode must be 'xd' or 'sw'")
+        if self.kernel not in ("join", "numeric", "semiring"):
+            raise ValueError(
+                "kernel must be 'join', 'numeric', or 'semiring'"
+            )
         if self.weight not in ("ani", "ns"):
             raise ValueError("weight must be 'ani' or 'ns'")
         if self.k < 1:

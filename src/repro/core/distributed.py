@@ -45,8 +45,8 @@ from .pipeline import edge_weight
 from .semirings import (
     CommonKmers,
     exact_overlap_semiring,
-    substitute_as_semiring,
-    substitute_overlap_semiring,
+    substitute_as_numeric_semiring,
+    substitute_overlap_encoded_semiring,
 )
 from .exchange import start_exchange
 
@@ -163,7 +163,11 @@ def pastis_rank(
     t0 = time.perf_counter()
     kspace = kmer_space_size(config.k)
     rows, cols, pos = build_a_triples(local_store, config.k, row_offset=gid0)
-    a = DistSparseMatrix.distribute(grid, n, kspace, rows, cols, list(pos))
+    # pass the int64 arrays through untouched: a rank with no sequences
+    # must contribute an *int64* empty, or the alltoall concatenation
+    # would promote every rank's values to float64 and silently knock the
+    # AS stage off the numeric fast path
+    a = DistSparseMatrix.distribute(grid, n, kspace, rows, cols, pos)
     timings["form A"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -178,18 +182,21 @@ def pastis_rank(
             local_kmers, config.k, config.substitutes, config.scoring
         )
         s = DistSparseMatrix.distribute(
-            grid, kspace, kspace, s_rows, s_cols, list(s_dist)
+            grid, kspace, kspace, s_rows, s_cols, s_dist
         )
         # ranks can generate the same k-mer's substitutes; dedupe
         s.local = s.local.sum_duplicates(lambda x, y: x)
         timings["form S"] = time.perf_counter() - t0
 
+        # AS runs on the numeric fast path: positions/distances are int64
+        # end to end, so SUMMA's local multiplies are fully vectorized and
+        # the AS values travel as packed int64 seed hits.
         t0 = time.perf_counter()
-        a_s = summa(a, s, substitute_as_semiring())
+        a_s = summa(a, s, substitute_as_numeric_semiring())
         timings["AS"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        b = summa(a_s, at, substitute_overlap_semiring())
+        b = summa(a_s, at, substitute_overlap_encoded_semiring())
         timings["(AS)AT"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()

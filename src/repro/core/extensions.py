@@ -182,7 +182,8 @@ def high_frequency_kmer_filter(
         present, config.k, config.substitutes, config.scoring,
         restrict_to=present,
     )
-    from .overlap import _expand_substitutes, _cartesian_by_group
+    from ..sparse.spgemm import join_cartesian
+    from .overlap import _expand_substitutes
     from .semirings import MAX_SEEDS
 
     s_rows, s_cols, s_dist = s_triples
@@ -191,7 +192,7 @@ def high_frequency_kmer_filter(
     )
     l_order = np.argsort(as_sub, kind="stable")
     r_order = np.argsort(cols, kind="stable")
-    li, ri = _cartesian_by_group(as_sub[l_order], cols[r_order])
+    li, ri = join_cartesian(as_sub[l_order], cols[r_order])
     src = as_row[l_order][li]
     dst = rows[r_order][ri]
     keep = src != dst

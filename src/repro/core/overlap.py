@@ -29,12 +29,14 @@ from ..kmers.substitutes import substitute_kmer_ids
 from ..sparse.coo import COOMatrix
 from ..sparse.csr import CSRMatrix
 from ..sparse.ops import triu
-from ..sparse.spgemm import spgemm_hash
+from ..sparse.spgemm import join_cartesian, spgemm, spgemm_expand, spgemm_hash
 from .config import PastisConfig
 from .semirings import (
     MAX_SEEDS,
     CommonKmers,
+    decode_seed_hits,
     exact_overlap_semiring,
+    substitute_as_numeric_semiring,
     substitute_as_semiring,
     substitute_overlap_semiring,
 )
@@ -44,6 +46,7 @@ __all__ = [
     "build_a_triples",
     "build_s_triples",
     "find_candidate_pairs",
+    "find_candidate_pairs_numeric",
     "find_candidate_pairs_semiring",
     "symmetrize_candidates",
 ]
@@ -96,10 +99,7 @@ def build_s_triples(
     cols_a = np.asarray(cols, dtype=np.int64)
     dists_a = np.asarray(dists, dtype=np.int64)
     if restrict_to is not None and len(cols_a):
-        restrict_to = np.asarray(restrict_to, dtype=np.int64)
-        pos = np.searchsorted(restrict_to, cols_a)
-        pos = np.clip(pos, 0, len(restrict_to) - 1)
-        keep = restrict_to[pos] == cols_a
+        keep = _in_sorted(np.asarray(restrict_to, dtype=np.int64), cols_a)
         rows_a, cols_a, dists_a = rows_a[keep], cols_a[keep], dists_a[keep]
     return rows_a, cols_a, dists_a
 
@@ -209,35 +209,6 @@ def _pairs_from_records(
 # ---------------------------------------------------------------------------
 
 
-def _cartesian_by_group(
-    left_keys: np.ndarray, right_keys: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Indices ``(li, ri)`` of the per-key cartesian product of two sorted
-    key arrays (the expansion step of a sort-merge join)."""
-    shared = np.intersect1d(left_keys, right_keys)
-    if len(shared) == 0:
-        e = np.empty(0, dtype=np.int64)
-        return e, e.copy()
-    l_start = np.searchsorted(left_keys, shared, side="left")
-    l_end = np.searchsorted(left_keys, shared, side="right")
-    r_start = np.searchsorted(right_keys, shared, side="left")
-    r_end = np.searchsorted(right_keys, shared, side="right")
-    l_cnt = l_end - l_start
-    r_cnt = r_end - r_start
-    sizes = l_cnt * r_cnt
-    total = int(sizes.sum())
-    if total == 0:
-        e = np.empty(0, dtype=np.int64)
-        return e, e.copy()
-    # linear index within each group's product
-    grp = np.repeat(np.arange(len(shared)), sizes)
-    offs = np.concatenate(([0], np.cumsum(sizes)))[:-1]
-    lin = np.arange(total, dtype=np.int64) - offs[grp]
-    li = l_start[grp] + lin // r_cnt[grp]
-    ri = r_start[grp] + lin % r_cnt[grp]
-    return li, ri
-
-
 def _exact_hits(
     rows: np.ndarray, cols: np.ndarray, pos: np.ndarray
 ) -> tuple[np.ndarray, ...]:
@@ -245,7 +216,7 @@ def _exact_hits(
     order = np.argsort(cols, kind="stable")
     rows_s, pos_s = rows[order], pos[order]
     keys = cols[order]
-    li, rix = _cartesian_by_group(keys, keys)
+    li, rix = join_cartesian(keys, keys)
     keep = rows_s[li] < rows_s[rix]
     li, rix = li[keep], rix[keep]
     return (
@@ -267,7 +238,7 @@ def _expand_substitutes(
     — the AS semiring's min-distance add."""
     a_order = np.argsort(cols, kind="stable")
     s_order = np.argsort(s_rows, kind="stable")
-    li, ri = _cartesian_by_group(cols[a_order], s_rows[s_order])
+    li, ri = join_cartesian(cols[a_order], s_rows[s_order])
     rw = rows[a_order][li]
     sub = s_cols[s_order][ri]
     ps = pos[a_order][li]
@@ -313,7 +284,7 @@ def find_candidate_pairs(
     # join AS (by substitute) against A (by exact kmer)
     l_order = np.argsort(as_sub, kind="stable")
     r_order = np.argsort(cols, kind="stable")
-    li, ri = _cartesian_by_group(as_sub[l_order], cols[r_order])
+    li, ri = join_cartesian(as_sub[l_order], cols[r_order])
     src = as_row[l_order][li]
     dst = rows[r_order][ri]
     keep = src != dst
@@ -322,14 +293,29 @@ def find_candidate_pairs(
     p_i = as_pos[l_order][li]
     p_j = pos[r_order][ri]
     d = as_dist[l_order][li]
+    return _merge_directed_records(n, src, dst, p_i, p_j, d)
 
-    # Directed pair statistics, then the symmetrization merge.  Within each
-    # directed group, seeds follow the canonical CommonKmers order
-    # (distance, AS-side position, exact-side position).
+
+def _merge_directed_records(
+    n: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    p_i: np.ndarray,
+    p_j: np.ndarray,
+    d: np.ndarray,
+) -> CandidatePairs:
+    """Directed pair statistics, then the symmetrization merge.  Within each
+    directed group, seeds follow the canonical CommonKmers order (distance,
+    AS-side position, exact-side position).  Shared by the join and the
+    numeric-SpGEMM formulations, so their merge semantics cannot drift."""
     fwd = src < dst
     lo = np.where(fwd, src, dst)
     hi = np.where(fwd, dst, src)
     dirflag = (~fwd).astype(np.int64)
+    # Seed *selection* happens in the directed orientation — (distance,
+    # AS-side position, exact-side position), exactly the order CommonKmers
+    # accumulates in before any flip — so the first MAX_SEEDS records of a
+    # directed group are the ones incremental merging would retain.
     order = np.lexsort((p_j, p_i, d, dirflag, hi, lo))
     lo, hi = lo[order], hi[order]
     p_i, p_j, d, dirflag = p_i[order], p_j[order], d[order], dirflag[order]
@@ -366,12 +352,125 @@ def find_candidate_pairs(
         ri_out[out] = pk // n
         rj_out[out] = pk % n
         cnt_out[out] = counts[g]
-        for s in range(min(MAX_SEEDS, int(counts[g]))):
-            at = starts[g] + s
-            spos_i[out, s] = pos_lo[at]
-            spos_j[out, s] = pos_hi[at]
-            sdist[out, s] = d[at]
+        # presentation order is canonical in the (lo, hi) orientation —
+        # CommonKmers.flip() re-sorts after flipping, so backward-direction
+        # winners need their selected seeds re-ordered by (d, pos_lo,
+        # pos_hi) to match the semiring reference on distance ties
+        picked = sorted(
+            (int(d[starts[g] + s]), int(pos_lo[starts[g] + s]),
+             int(pos_hi[starts[g] + s]))
+            for s in range(min(MAX_SEEDS, int(counts[g])))
+        )
+        for s, (dd, pl, ph) in enumerate(picked):
+            spos_i[out, s] = pl
+            spos_j[out, s] = ph
+            sdist[out, s] = dd
     return CandidatePairs(n, ri_out, rj_out, cnt_out, spos_i, spos_j, sdist)
+
+
+# ---------------------------------------------------------------------------
+# shared operand construction (numeric and semiring matrix formulations)
+# ---------------------------------------------------------------------------
+
+
+def _compact_columns(cols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Relabel k-mer ids to dense column indices; returns (dense, vocab)."""
+    vocab, dense = np.unique(cols, return_inverse=True)
+    return dense, vocab
+
+
+def _in_sorted(sorted_arr: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Membership mask of ``values`` in a sorted array."""
+    if len(sorted_arr) == 0:
+        return np.zeros(len(values), dtype=bool)
+    pos = np.clip(np.searchsorted(sorted_arr, values), 0,
+                  len(sorted_arr) - 1)
+    return sorted_arr[pos] == values
+
+
+def _build_a_matrix(
+    store: SequenceStore, config: PastisConfig
+) -> tuple[int, CSRMatrix, np.ndarray]:
+    """``A`` in dense column space (positions as int64 values) plus the
+    dataset's sorted k-mer vocabulary."""
+    n = len(store)
+    rows, cols, pos = build_a_triples(store, config.k)
+    dense_cols, vocab = _compact_columns(cols)
+    a = CSRMatrix.from_coo(
+        COOMatrix(n, max(len(vocab), 1), rows, dense_cols, pos)
+    )
+    return n, a, vocab
+
+
+def _build_s_matrix(
+    vocab: np.ndarray,
+    config: PastisConfig,
+    s_triples: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> CSRMatrix:
+    """``S`` in dense column space.  Internally built triples are already
+    vocabulary-restricted; externally supplied ones are filtered first
+    (entries outside the vocabulary cannot match anything in ``A``/``Aᵀ``)."""
+    if s_triples is None:
+        s_rows, s_cols, s_dist = build_s_triples(
+            vocab, config.k, config.substitutes, config.scoring,
+            restrict_to=vocab,
+        )
+    else:
+        s_rows, s_cols, s_dist = s_triples
+        s_dist = np.asarray(s_dist)
+        keep = _in_sorted(vocab, s_rows) & _in_sorted(vocab, s_cols)
+        s_rows, s_cols, s_dist = s_rows[keep], s_cols[keep], s_dist[keep]
+    nk = max(len(vocab), 1)
+    return CSRMatrix.from_coo(
+        COOMatrix(nk, nk, np.searchsorted(vocab, s_rows),
+                  np.searchsorted(vocab, s_cols),
+                  np.asarray(s_dist, dtype=np.int64))
+    )
+
+
+# ---------------------------------------------------------------------------
+# numeric-SpGEMM formulation
+# ---------------------------------------------------------------------------
+
+
+def find_candidate_pairs_numeric(
+    store: SequenceStore,
+    config: PastisConfig,
+    s_triples: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> CandidatePairs:
+    """Overlap detection through the sparse-matrix machinery on the numeric
+    fast path — the paper's matrix formulation without per-element Python
+    dispatch.
+
+    The ``AS`` stage is a genuine numeric-semiring SpGEMM (seed hits packed
+    into int64, ``np.minimum`` accumulation); the final ``· Aᵀ`` stage
+    consumes the vectorized partial-product stream of
+    :func:`~repro.sparse.spgemm.spgemm_expand` directly, because the PASTIS
+    ``B`` values need the operand pair rather than a scalar product.  Agrees
+    exactly with :func:`find_candidate_pairs` and
+    :func:`find_candidate_pairs_semiring` (a tested invariant).
+    """
+    n, a, vocab = _build_a_matrix(store, config)
+    at = a.transpose()
+    if config.substitutes == 0:
+        ri, rj, p_i, p_j = spgemm_expand(a, at)
+        keep = ri < rj
+        ri, rj = ri[keep], rj[keep]
+        return _pairs_from_records(
+            n, ri, rj,
+            np.asarray(p_i[keep], dtype=np.int64),
+            np.asarray(p_j[keep], dtype=np.int64),
+            np.zeros(len(ri), dtype=np.int64),
+        )
+
+    s = _build_s_matrix(vocab, config, s_triples)
+    a_s = spgemm(a, s, substitute_as_numeric_semiring())
+    src, dst, enc, p_j = spgemm_expand(CSRMatrix.from_coo(a_s), at)
+    keep = src != dst
+    src, dst, p_j = src[keep], dst[keep], np.asarray(p_j[keep],
+                                                    dtype=np.int64)
+    p_i, d = decode_seed_hits(enc[keep])
+    return _merge_directed_records(n, src, dst, p_i, p_j, d)
 
 
 # ---------------------------------------------------------------------------
@@ -440,12 +539,6 @@ def symmetrize_candidates(
 # ---------------------------------------------------------------------------
 
 
-def _compact_columns(cols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Relabel k-mer ids to dense column indices; returns (dense, vocab)."""
-    vocab, dense = np.unique(cols, return_inverse=True)
-    return dense, vocab
-
-
 def find_candidate_pairs_semiring(
     store: SequenceStore,
     config: PastisConfig,
@@ -453,24 +546,12 @@ def find_candidate_pairs_semiring(
     """Reference overlap detection through the PASTIS semirings and the
     generic hash SpGEMM — slow, but a direct transcription of the paper's
     matrix formulation.  Used to validate the vectorized path."""
-    n = len(store)
-    rows, cols, pos = build_a_triples(store, config.k)
-    dense_cols, vocab = _compact_columns(cols)
-    nk = len(vocab)
-    a = CSRMatrix.from_coo(COOMatrix(n, max(nk, 1), rows, dense_cols, pos))
+    n, a, vocab = _build_a_matrix(store, config)
     at = a.transpose()
     if config.substitutes == 0:
         b = spgemm_hash(a, at, exact_overlap_semiring())
     else:
-        s_rows, s_cols, s_dist = build_s_triples(
-            vocab, config.k, config.substitutes, config.scoring,
-            restrict_to=vocab,
-        )
-        sr = np.searchsorted(vocab, s_rows)
-        sc = np.searchsorted(vocab, s_cols)
-        s = CSRMatrix.from_coo(
-            COOMatrix(max(nk, 1), max(nk, 1), sr, sc, s_dist)
-        )
+        s = _build_s_matrix(vocab, config)
         a_s = spgemm_hash(a, s, substitute_as_semiring())
         b = spgemm_hash(
             CSRMatrix.from_coo(a_s), at, substitute_overlap_semiring()

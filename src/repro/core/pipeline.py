@@ -17,7 +17,12 @@ from ..align.stats import AlignmentResult, passes_filter
 from ..bio.sequences import SequenceStore
 from .config import PastisConfig
 from .graph import SimilarityGraph
-from .overlap import CandidatePairs, find_candidate_pairs
+from .overlap import (
+    CandidatePairs,
+    find_candidate_pairs,
+    find_candidate_pairs_numeric,
+    find_candidate_pairs_semiring,
+)
 from ..sparse.coo import COOMatrix
 
 __all__ = ["pastis_pipeline", "align_candidates", "edge_weight"]
@@ -84,7 +89,12 @@ def pastis_pipeline(
     """
     config = config or PastisConfig()
     t0 = time.perf_counter()
-    pairs = find_candidate_pairs(store, config)
+    overlap_impl = {
+        "join": find_candidate_pairs,
+        "numeric": find_candidate_pairs_numeric,
+        "semiring": find_candidate_pairs_semiring,
+    }[config.kernel]
+    pairs = overlap_impl(store, config)
     pairs_before_ck = pairs.npairs
     pairs = pairs.apply_ck_threshold(config.common_kmer_threshold)
     t1 = time.perf_counter()

@@ -18,15 +18,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sparse.semiring import Semiring
+import numpy as np
+
+from ..sparse.semiring import NumericSpec, Semiring
 
 __all__ = [
     "SeedHit",
     "CommonKmers",
     "MAX_SEEDS",
+    "SEED_ENCODE_SHIFT",
+    "encode_seed_hits",
+    "decode_seed_hits",
     "exact_overlap_semiring",
     "substitute_as_semiring",
+    "substitute_as_numeric_semiring",
     "substitute_overlap_semiring",
+    "substitute_overlap_encoded_semiring",
     "merge_common_kmers",
 ]
 
@@ -116,3 +123,68 @@ def substitute_overlap_semiring() -> Semiring:
         return CommonKmers(1, ((hit.position, int(pos_c), hit.distance),))
 
     return Semiring("pastis_substitute_overlap", merge_common_kmers, mul)
+
+
+# ---------------------------------------------------------------------------
+# numeric twins: SeedHit packed into int64
+# ---------------------------------------------------------------------------
+
+#: A :class:`SeedHit` packs into one int64 as ``distance * SHIFT +
+#: position``; because ``position < SHIFT``, integer ``min`` over the
+#: encoding realises exactly the lexicographic ``(distance, position)`` min
+#: of the AS semiring's add — which is what lets the AS stage run on the
+#: vectorized numeric SpGEMM path.
+SEED_ENCODE_SHIFT = np.int64(1) << 32
+
+
+def encode_seed_hits(positions, distances):
+    """Pack ``(position, distance)`` pairs (scalars or arrays) into int64."""
+    return (
+        np.asarray(distances, dtype=np.int64) * SEED_ENCODE_SHIFT
+        + np.asarray(positions, dtype=np.int64)
+    )
+
+
+def decode_seed_hits(encoded):
+    """Unpack int64-encoded seed hits into ``(positions, distances)``."""
+    enc = np.asarray(encoded, dtype=np.int64)
+    return enc % SEED_ENCODE_SHIFT, enc // SEED_ENCODE_SHIFT
+
+
+def substitute_as_numeric_semiring() -> Semiring:
+    """Numeric twin of :func:`substitute_as_semiring`.
+
+    ``A`` holds int positions and ``S`` int distances, so the whole ``AS``
+    stage fits a numeric semiring once the :class:`SeedHit` is packed into
+    int64 (see :data:`SEED_ENCODE_SHIFT`): multiply encodes, add is integer
+    min.  The same callables serve scalars and arrays, so the generic and
+    vectorized kernels share one definition and cannot drift.
+    """
+
+    def mul(pos, dist):
+        return dist * SEED_ENCODE_SHIFT + pos
+
+    def add(x, y):
+        return x if x <= y else y
+
+    return Semiring(
+        "pastis_as_numeric", add, mul,
+        numeric=NumericSpec(np.int64, np.minimum, mul),
+    )
+
+
+def substitute_overlap_encoded_semiring() -> Semiring:
+    """``(A S) Aᵀ`` when ``AS`` carries int64-encoded seed hits instead of
+    :class:`SeedHit` objects; output values are :class:`CommonKmers` as in
+    :func:`substitute_overlap_semiring`."""
+
+    def mul(enc, pos_c) -> CommonKmers:
+        return CommonKmers(
+            1,
+            ((int(enc % SEED_ENCODE_SHIFT), int(pos_c),
+              int(enc // SEED_ENCODE_SHIFT)),),
+        )
+
+    return Semiring(
+        "pastis_substitute_overlap_encoded", merge_common_kmers, mul
+    )

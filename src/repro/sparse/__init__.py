@@ -13,8 +13,25 @@ from .ops import (
     tril,
     triu,
 )
-from .semiring import ARITHMETIC, BOOLEAN, COUNTING, MAX_MIN, MIN_PLUS, Semiring
-from .spgemm import spgemm, spgemm_hash, spgemm_heap, spgemm_scipy
+from .semiring import (
+    ARITHMETIC,
+    BOOLEAN,
+    COUNTING,
+    MAX_MIN,
+    MAX_TIMES,
+    MIN_PLUS,
+    NumericSpec,
+    Semiring,
+)
+from .spgemm import (
+    spgemm,
+    spgemm_coo,
+    spgemm_expand,
+    spgemm_hash,
+    spgemm_heap,
+    spgemm_numeric,
+    spgemm_scipy,
+)
 from .summa import summa
 
 __all__ = [
@@ -32,11 +49,16 @@ __all__ = [
     "BOOLEAN",
     "COUNTING",
     "MAX_MIN",
+    "MAX_TIMES",
     "MIN_PLUS",
+    "NumericSpec",
     "Semiring",
     "spgemm",
+    "spgemm_coo",
+    "spgemm_expand",
     "spgemm_hash",
     "spgemm_heap",
+    "spgemm_numeric",
     "spgemm_scipy",
     "summa",
 ]

@@ -1,10 +1,13 @@
-"""Coordinate-format sparse matrix with arbitrary (object) values.
+"""Coordinate-format sparse matrix with typed or object values.
 
 The distributed pipeline moves triples between ranks, so COO is the exchange
 format; :class:`COOMatrix` supports both numeric and Python-object values
-(the PASTIS positional semirings store tuples).  Dimensions may far exceed
-the nonzero count — e.g. ``A`` is |sequences| x 24^k — so shape is ``int``
-based, never materialised.
+(the PASTIS positional semirings store tuples).  Numeric inputs keep their
+NumPy dtype — the numeric SpGEMM fast path depends on typed value arrays
+surviving every transform — and only genuinely heterogeneous values fall
+back to ``dtype=object``.  Dimensions may far exceed the nonzero count —
+e.g. ``A`` is |sequences| x 24^k — so shape is ``int`` based, never
+materialised.
 """
 
 from __future__ import annotations
@@ -17,12 +20,37 @@ __all__ = ["COOMatrix"]
 
 
 def _as_values(vals: Any, n: int) -> np.ndarray:
-    arr = np.asarray(vals)
-    if arr.shape != (n,):
-        arr = np.empty(n, dtype=object)
-        for i, v in enumerate(vals):
-            arr[i] = v
+    """Coerce ``vals`` to a 1-D value array of length ``n``, preserving
+    numeric dtypes and falling back to an object array for sequence-valued
+    or ragged inputs (which ``np.asarray`` would reject or reshape)."""
+    if isinstance(vals, np.ndarray) and vals.shape == (n,):
+        return vals
+    try:
+        arr = np.asarray(vals)
+    except ValueError:  # ragged nested sequences
+        arr = None
+    if arr is not None and arr.shape == (n,):
+        return arr
+    arr = np.empty(n, dtype=object)
+    for i, v in enumerate(vals):
+        arr[i] = v
     return arr
+
+
+def _reduce_sorted_coords(
+    rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, add: np.ufunc
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fold consecutive equal ``(row, col)`` groups of an already-sorted
+    triple stream with ``add.reduceat``; returns the deduplicated triples.
+
+    ``reduceat`` applies the ufunc left-to-right within each group — the
+    same order as sequential accumulation — so this is the one shared
+    implementation of the vectorized duplicate fold (used by
+    ``COOMatrix.sum_duplicates`` and the SpGEMM numeric kernels)."""
+    boundary = np.ones(len(rows), dtype=bool)
+    boundary[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+    starts = np.flatnonzero(boundary)
+    return rows[starts], cols[starts], add.reduceat(vals, starts)
 
 
 class COOMatrix:
@@ -93,6 +121,18 @@ class COOMatrix:
             self.vals.copy(),
         )
 
+    def astype(self, dtype) -> "COOMatrix":
+        """Same matrix with values cast to ``dtype`` (typed-array entry
+        point for the numeric fast path)."""
+        return COOMatrix(
+            self.nrows, self.ncols, self.rows.copy(), self.cols.copy(),
+            self.vals.astype(dtype),
+        )
+
+    @property
+    def has_object_values(self) -> bool:
+        return self.vals.dtype == object
+
     def transpose(self) -> "COOMatrix":
         """Swap rows and columns (O(nnz), no value copies)."""
         return COOMatrix(
@@ -109,9 +149,21 @@ class COOMatrix:
         )
 
     def sum_duplicates(self, add: Callable[[Any, Any], Any]) -> "COOMatrix":
-        """Fold duplicate coordinates with the semiring ``add``."""
+        """Fold duplicate coordinates with the semiring ``add``.
+
+        When ``add`` is a binary ufunc and the values are typed (not
+        ``object``), the fold is vectorized with ``reduceat`` over the
+        stable ``(row, col)`` sort — the same left-to-right order the
+        generic loop uses, so results are identical.
+        """
         if self.nnz == 0:
             return self.copy()
+        if isinstance(add, np.ufunc) and self.vals.dtype != object:
+            m = self.sort()
+            return COOMatrix(
+                self.nrows, self.ncols,
+                *_reduce_sorted_coords(m.rows, m.cols, m.vals, add),
+            )
         m = self.sort()
         out_r: list[int] = []
         out_c: list[int] = []

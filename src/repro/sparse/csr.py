@@ -1,9 +1,10 @@
-"""Compressed sparse row format with object-value support.
+"""Compressed sparse row format with typed or object values.
 
 CSR is the workhorse for local SpGEMM: row-wise access to the left operand
 and to the rows of the right operand it touches.  Values may be any Python
 objects (needed by PASTIS's positional semirings), stored in an object array
-aligned with ``indices``.
+aligned with ``indices``; numeric inputs keep their NumPy dtype so the
+vectorized SpGEMM fast path can gather them wholesale.
 """
 
 from __future__ import annotations
@@ -77,6 +78,16 @@ class CSRMatrix:
 
     def row_nnz(self) -> np.ndarray:
         return np.diff(self.indptr)
+
+    def astype(self, dtype) -> "CSRMatrix":
+        """Same matrix with values cast to ``dtype`` (typed-array entry
+        point for the numeric fast path)."""
+        return CSRMatrix(self.nrows, self.ncols, self.indptr.copy(),
+                         self.indices.copy(), self.data.astype(dtype))
+
+    @property
+    def has_object_values(self) -> bool:
+        return self.data.dtype == object
 
     def get(self, i: int, j: int, default: Any = None) -> Any:
         """Value at ``(i, j)`` or ``default``."""

@@ -15,7 +15,7 @@ from typing import Any
 import numpy as np
 
 from ..mpisim.grid import ProcessGrid, block_ranges
-from .coo import COOMatrix
+from .coo import COOMatrix, _as_values
 from .csr import CSRMatrix
 from .dcsc import DCSCMatrix
 
@@ -63,9 +63,9 @@ class DistSparseMatrix:
 
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
-        vals_arr = np.asarray(vals, dtype=object) if not isinstance(
-            vals, np.ndarray
-        ) else vals
+        # preserve numeric dtypes — the SUMMA numeric fast path needs typed
+        # value arrays to survive the redistribution
+        vals_arr = _as_values(vals, len(rows))
         owner = _route(row_starts, rows) * q + _route(col_starts, cols)
         outgoing: list[tuple] = []
         for dst in range(grid.comm.size):
@@ -76,11 +76,10 @@ class DistSparseMatrix:
         incoming = grid.comm.alltoall(outgoing)
         lr = np.concatenate([m[0] for m in incoming]) if incoming else rows[:0]
         lc = np.concatenate([m[1] for m in incoming]) if incoming else cols[:0]
-        if any(len(m[2]) for m in incoming):
-            lv = np.concatenate([np.asarray(m[2], dtype=object)
-                                 for m in incoming])
+        if incoming:
+            lv = np.concatenate([m[2] for m in incoming])
         else:
-            lv = np.empty(0, dtype=object)
+            lv = vals_arr[:0]
         my_rows = row_ranges[grid.row]
         my_cols = col_ranges[grid.col]
         local = COOMatrix(
@@ -141,13 +140,7 @@ class DistSparseMatrix:
             return None
         rows = np.concatenate([b[0] for b in blocks])
         cols = np.concatenate([b[1] for b in blocks])
-        nnz = sum(len(b[2]) for b in blocks)
-        vals = np.empty(nnz, dtype=object)
-        at = 0
-        for b in blocks:
-            for v in b[2]:
-                vals[at] = v
-                at += 1
+        vals = np.concatenate([b[2] for b in blocks])
         return COOMatrix(self.nrows, self.ncols, rows, cols, vals)
 
     def transpose(self) -> "DistSparseMatrix":

@@ -9,6 +9,7 @@ from typing import Any, Callable
 import numpy as np
 
 from .coo import COOMatrix
+from .semiring import Semiring
 
 __all__ = [
     "triu",
@@ -64,11 +65,23 @@ def prune(m: COOMatrix, predicate: Callable[[Any], bool]) -> COOMatrix:
 
 
 def elementwise_add(
-    a: COOMatrix, b: COOMatrix, add: Callable[[Any, Any], Any]
+    a: COOMatrix, b: COOMatrix, add: Callable[[Any, Any], Any] | Semiring
 ) -> COOMatrix:
-    """``A ⊕ B`` with the semiring ``add`` merging collisions."""
+    """``A ⊕ B`` with the semiring ``add`` merging collisions.
+
+    ``add`` may be a scalar callable, a binary ufunc, or a whole
+    :class:`~repro.sparse.semiring.Semiring` — in the latter case the
+    vectorized ``reduceat`` fold is used whenever the semiring's numeric
+    spec covers both operand value dtypes.
+    """
     if a.shape != b.shape:
         raise ValueError("shape mismatch")
+    if isinstance(add, Semiring):
+        spec = add.numeric
+        if spec is not None and spec.compatible(a.vals.dtype, b.vals.dtype):
+            add = spec.add
+        else:
+            add = add.add
     merged = COOMatrix(
         a.nrows,
         a.ncols,

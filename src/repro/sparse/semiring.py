@@ -1,4 +1,4 @@
-"""User-defined semirings (CombBLAS-style).
+"""User-defined semirings (CombBLAS-style) with an optional numeric spec.
 
 A semiring supplies the two binary operators used by SpGEMM: ``multiply``
 combines one value of ``A`` with one value of ``B`` into a partial product,
@@ -6,21 +6,92 @@ and ``add`` folds partial products for the same output coordinate.  PASTIS
 overloads both to thread k-mer positions through ``A Aᵀ`` and ``A S Aᵀ``
 (paper Section IV-A/IV-C); this module provides the abstraction plus the
 standard arithmetic semirings used as references.
+
+Numeric-semiring contract
+-------------------------
+A semiring may additionally declare a :class:`NumericSpec`, which lets the
+SpGEMM kernels replace the per-element Python ``add``/``multiply`` dispatch
+with whole-array NumPy operations (row-expansion + ``lexsort`` +
+``ufunc.reduceat``).  The spec must satisfy:
+
+* ``add`` is a **binary ufunc** (``np.add``, ``np.minimum``, ...) whose
+  ``reduceat`` over a contiguous group equals the left fold of the scalar
+  ``add`` over the same elements in the same order;
+* ``multiply`` is **vectorized**: given two equal-length value arrays it
+  returns the array of partial products, elementwise equal to the scalar
+  ``multiply``;
+* ``dtype`` is the canonical accumulator dtype.  The fast path only engages
+  when both operands' value dtypes can be cast to it under ``casting``
+  (default ``"same_kind"``); otherwise the kernels silently fall back to the
+  generic hash/heap paths, so declaring a spec never changes results.
+
+The scalar ``add``/``multiply`` remain required and authoritative: they are
+used whenever values are Python objects, and the property tests in
+``tests/test_spgemm_crossval.py`` assert both formulations agree on every
+bundled semiring.  Because the vectorized kernels fold groups in the same
+deterministic order as the scalar kernels, results are identical — bitwise,
+even for floats.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
+import numpy as np
+
 __all__ = [
+    "NumericSpec",
     "Semiring",
     "ARITHMETIC",
     "BOOLEAN",
     "MIN_PLUS",
     "MAX_MIN",
+    "MAX_TIMES",
     "COUNTING",
 ]
+
+
+@dataclass(frozen=True)
+class NumericSpec:
+    """Declarative vectorized form of a semiring over a NumPy dtype.
+
+    Attributes
+    ----------
+    dtype:
+        Canonical accumulator dtype; operand value dtypes must be castable
+        to it (under ``casting``) for the fast path to engage.
+    add:
+        Binary ufunc supporting ``reduceat`` (``np.add``, ``np.minimum``,
+        ``np.maximum``, ``np.logical_or``, ...).
+    multiply:
+        Vectorized combine of two equal-length value arrays.
+    casting:
+        NumPy casting rule for the eligibility check; ``"unsafe"`` means
+        the semiring never reads the stored values (e.g. COUNTING).
+    """
+
+    dtype: Any
+    add: np.ufunc
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    casting: str = "same_kind"
+
+    def compatible(self, *dtypes: Any) -> bool:
+        """Whether value arrays of the given dtypes can use the fast path."""
+        spec_dt = np.dtype(self.dtype)
+        for dt in dtypes:
+            dt = np.dtype(dt)
+            if dt == object:
+                return False
+            # bool arithmetic saturates under NumPy ufuncs (True + True is
+            # True), which would diverge from the scalar path; only a bool
+            # spec (or a value-ignoring one) may accept bool operands
+            if (dt.kind == "b" and spec_dt.kind != "b"
+                    and self.casting != "unsafe"):
+                return False
+            if not np.can_cast(dt, spec_dt, casting=self.casting):
+                return False
+        return True
 
 
 @dataclass(frozen=True)
@@ -41,33 +112,63 @@ class Semiring:
         The additive identity *for numeric semirings*; ``None`` means the
         semiring has no materialised zero (PASTIS's positional semirings) —
         SpGEMM then seeds each accumulator with the first partial product.
+    numeric:
+        Optional :class:`NumericSpec` enabling the vectorized kernels (see
+        the module docstring for the contract).
     """
 
     name: str
     add: Callable[[Any, Any], Any]
     multiply: Callable[[Any, Any], Any]
     zero: Any = None
+    numeric: NumericSpec | None = field(default=None, compare=False)
 
     def __repr__(self) -> str:
         return f"Semiring({self.name!r})"
 
 
 #: Standard (+, *) arithmetic — SpGEMM over it must equal scipy's matmul.
-ARITHMETIC = Semiring("arithmetic", lambda a, b: a + b, lambda a, b: a * b, 0)
+ARITHMETIC = Semiring(
+    "arithmetic", lambda a, b: a + b, lambda a, b: a * b, 0,
+    numeric=NumericSpec(np.float64, np.add, np.multiply),
+)
 
-#: (or, and) — pattern multiplication.
+#: (or, and) — pattern multiplication.  The fast path engages only for
+#: genuinely boolean value arrays (int values fall back to the generic
+#: truthiness semantics).
 BOOLEAN = Semiring(
-    "boolean", lambda a, b: a or b, lambda a, b: a and b, False
+    "boolean", lambda a, b: a or b, lambda a, b: a and b, False,
+    numeric=NumericSpec(np.bool_, np.logical_or, np.logical_and),
 )
 
 #: (min, +) — shortest paths.
-MIN_PLUS = Semiring("min_plus", min, lambda a, b: a + b, None)
+MIN_PLUS = Semiring(
+    "min_plus", min, lambda a, b: a + b, None,
+    numeric=NumericSpec(np.float64, np.minimum, np.add),
+)
 
 #: (max, min) — bottleneck paths.
-MAX_MIN = Semiring("max_min", max, min, None)
+MAX_MIN = Semiring(
+    "max_min", max, min, None,
+    numeric=NumericSpec(np.float64, np.maximum, np.minimum),
+)
+
+#: (max, *) — most-reliable paths over non-negative weights.
+MAX_TIMES = Semiring(
+    "max_times", max, lambda a, b: a * b, None,
+    numeric=NumericSpec(np.float64, np.maximum, np.multiply),
+)
 
 #: Count common nonzeros regardless of stored values: multiply ↦ 1, add ↦ +.
 #: With A holding k-mer positions, ``A Aᵀ`` over COUNTING gives the common
 #: k-mer count of every sequence pair (the paper's exact matching before
-#: positions are tracked).
-COUNTING = Semiring("counting", lambda a, b: a + b, lambda a, b: 1, 0)
+#: positions are tracked).  ``casting="unsafe"`` because the values are
+#: never read.
+COUNTING = Semiring(
+    "counting", lambda a, b: a + b, lambda a, b: 1, 0,
+    numeric=NumericSpec(
+        np.int64, np.add,
+        lambda av, bv: np.ones(len(av), dtype=np.int64),
+        casting="unsafe",
+    ),
+)

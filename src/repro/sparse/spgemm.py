@@ -1,16 +1,26 @@
 """Local sparse general matrix-matrix multiply (SpGEMM) over semirings.
 
 CombBLAS's local multiply is a hybrid hash-table / heap algorithm (Nagasaka
-et al. 2019, cited by the paper); we implement both strategies:
+et al. 2019, cited by the paper); we implement both strategies plus a
+vectorized numeric fast path:
 
 * :func:`spgemm_hash` — per-output-row hash accumulation (Gustavson with a
   dict); best for rows with many partial products.
 * :func:`spgemm_heap` — k-way merge of the contributing rows of ``B`` with a
   heap; best for very sparse rows.
-* :func:`spgemm` — the hybrid dispatcher choosing per row, like CombBLAS.
+* :func:`spgemm_numeric` — whole-array formulation for semirings declaring a
+  :class:`~repro.sparse.semiring.NumericSpec`: expand every partial product
+  with NumPy gather/repeat, then fold duplicates with ``lexsort`` +
+  ``ufunc.reduceat``.  No per-element Python dispatch anywhere.
+* :func:`spgemm` — the dispatcher: numeric fast path when the semiring and
+  the value dtypes permit, else hash/heap chosen per the expected work per
+  row (CombBLAS-style).
 
 All variants are generic over :class:`~repro.sparse.semiring.Semiring` and
-return a duplicate-free :class:`~repro.sparse.coo.COOMatrix`.
+return a duplicate-free :class:`~repro.sparse.coo.COOMatrix`.  Every
+formulation folds the partial products of one output coordinate in the same
+deterministic order (ascending inner index ``k``), so their results are
+identical — bitwise, even for floating-point values.
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ from typing import Any
 
 import numpy as np
 
-from .coo import COOMatrix
+from .coo import COOMatrix, _reduce_sorted_coords
 from .csr import CSRMatrix
 from .semiring import ARITHMETIC, Semiring
 
@@ -28,8 +38,11 @@ __all__ = [
     "spgemm",
     "spgemm_hash",
     "spgemm_heap",
+    "spgemm_numeric",
+    "spgemm_expand",
     "spgemm_scipy",
     "spgemm_coo",
+    "join_cartesian",
 ]
 
 #: Average partial products per row above which the hash strategy is used.
@@ -126,14 +139,149 @@ def spgemm_heap(
     return _emit(a, b, rows, cols, vals)
 
 
+# ---------------------------------------------------------------------------
+# vectorized numeric fast path
+# ---------------------------------------------------------------------------
+
+
+def join_cartesian(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Indices ``(li, ri)`` of the per-key cartesian product of two sorted
+    key arrays (the expansion step of a sort-merge join).
+
+    For every key present in both arrays, emits one ``(li, ri)`` pair per
+    element of the cross product of its occurrence ranges, left-major, keys
+    ascending.  This is the inner-dimension expansion both the COO SpGEMM
+    fast path and the overlap join use.
+    """
+    shared = np.intersect1d(left_keys, right_keys)
+    if len(shared) == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy()
+    l_start = np.searchsorted(left_keys, shared, side="left")
+    l_end = np.searchsorted(left_keys, shared, side="right")
+    r_start = np.searchsorted(right_keys, shared, side="left")
+    r_end = np.searchsorted(right_keys, shared, side="right")
+    l_cnt = l_end - l_start
+    r_cnt = r_end - r_start
+    sizes = l_cnt * r_cnt
+    total = int(sizes.sum())
+    if total == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy()
+    # linear index within each group's product
+    grp = np.repeat(np.arange(len(shared)), sizes)
+    offs = np.concatenate(([0], np.cumsum(sizes)))[:-1]
+    lin = np.arange(total, dtype=np.int64) - offs[grp]
+    li = l_start[grp] + lin // r_cnt[grp]
+    ri = r_start[grp] + lin % r_cnt[grp]
+    return li, ri
+
+
+def spgemm_expand(
+    a: CSRMatrix, b: CSRMatrix
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The raw partial-product stream of ``A · B``, fully vectorized.
+
+    Returns ``(rows, cols, a_vals, b_vals)`` with one entry per partial
+    product, ordered row-major over the entries of ``A`` (so, within an
+    output row, by ascending inner index ``k``) and then by the column order
+    of the contributing ``B`` row.  This is the expansion the numeric kernel
+    reduces; it is exposed because the overlap stage consumes the stream
+    directly (the PASTIS ``B`` values need the operand pair, not a scalar
+    product).  Works for object-valued matrices too — ``np.repeat`` and
+    gather never touch the values elementwise.
+    """
+    _check_dims(a, b)
+    a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_nnz())
+    cnt = b.row_nnz()[a.indices]
+    total = int(cnt.sum())
+    if total == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy(), a.data[:0], b.data[:0]
+    rows = np.repeat(a_rows, cnt)
+    a_vals = np.repeat(a.data, cnt)
+    group_starts = np.concatenate(([0], np.cumsum(cnt)))[:-1]
+    offset = np.arange(total, dtype=np.int64) - np.repeat(group_starts, cnt)
+    b_pos = np.repeat(b.indptr[a.indices], cnt) + offset
+    return rows, b.indices[b_pos], a_vals, b.data[b_pos]
+
+
+def _accumulate_coo(
+    nrows: int,
+    ncols: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    add: np.ufunc,
+) -> COOMatrix:
+    """Fold a partial-product stream by output coordinate: stable sort by
+    ``(row, col)`` then ``add.reduceat`` per group — the vectorized
+    equivalent of sequential accumulation in stream order.
+
+    When ``row * ncols + col`` fits in int64 the sort runs on that fused
+    key (stable integer argsort is radix-based and much faster than a
+    two-key lexsort); hypersparse shapes that would overflow fall back to
+    ``np.lexsort``.
+    """
+    if 0 < nrows <= (2**62) // max(ncols, 1):
+        key = rows * ncols + cols
+        order = np.argsort(key, kind="stable")
+        k, v = key[order], vals[order]
+        boundary = np.ones(len(k), dtype=bool)
+        boundary[1:] = k[1:] != k[:-1]
+        starts = np.flatnonzero(boundary)
+        uniq = k[starts]
+        return COOMatrix(nrows, ncols, uniq // ncols, uniq % ncols,
+                         add.reduceat(v, starts))
+    order = np.lexsort((cols, rows))
+    return COOMatrix(
+        nrows, ncols,
+        *_reduce_sorted_coords(rows[order], cols[order], vals[order], add),
+    )
+
+
+def spgemm_numeric(
+    a: CSRMatrix, b: CSRMatrix, semiring: Semiring = ARITHMETIC
+) -> COOMatrix:
+    """Vectorized SpGEMM for semirings with a numeric spec.
+
+    Row-expansion via :func:`spgemm_expand`, vectorized ``multiply``, then
+    ``lexsort`` + ``reduceat`` accumulation.  Raises :class:`TypeError` when
+    the semiring has no numeric spec or the operand value dtypes are not
+    compatible with it (callers wanting automatic fallback should use
+    :func:`spgemm`).
+    """
+    _check_dims(a, b)
+    spec = semiring.numeric
+    if spec is None:
+        raise TypeError(f"semiring {semiring.name!r} has no numeric spec")
+    if not spec.compatible(a.data.dtype, b.data.dtype):
+        raise TypeError(
+            f"value dtypes ({a.data.dtype}, {b.data.dtype}) are not "
+            f"compatible with the {semiring.name!r} numeric spec"
+        )
+    rows, cols, a_vals, b_vals = spgemm_expand(a, b)
+    if len(rows) == 0:
+        return COOMatrix.empty(a.nrows, b.ncols, dtype=spec.dtype)
+    vals = np.asarray(spec.multiply(a_vals, b_vals))
+    return _accumulate_coo(a.nrows, b.ncols, rows, cols, vals, spec.add)
+
+
 def spgemm(
     a: CSRMatrix, b: CSRMatrix, semiring: Semiring = ARITHMETIC
 ) -> COOMatrix:
-    """Hybrid dispatcher: hash for dense-ish accumulations, heap otherwise,
-    decided by the expected partial products per row (CombBLAS-style)."""
+    """Dispatcher: the numeric fast path when the semiring declares one and
+    the value dtypes permit; otherwise hash for dense-ish accumulations,
+    heap for very sparse rows, decided by the expected partial products per
+    row (CombBLAS-style)."""
     _check_dims(a, b)
     if a.nrows == 0 or a.nnz == 0 or b.nnz == 0:
         return COOMatrix.empty(a.nrows, b.ncols)
+    spec = semiring.numeric
+    if spec is not None and spec.compatible(a.data.dtype, b.data.dtype):
+        return spgemm_numeric(a, b, semiring)
     flops = _estimate_flops(a, b)
     if flops / max(a.nrows, 1) >= _HYBRID_THRESHOLD:
         return spgemm_hash(a, b, semiring)
@@ -146,6 +294,24 @@ def _estimate_flops(a: CSRMatrix, b: CSRMatrix) -> int:
     return int(b_row_nnz[a.indices].sum())
 
 
+def _spgemm_coo_numeric(
+    a: COOMatrix, b: COOMatrix, semiring: Semiring
+) -> COOMatrix:
+    """Vectorized sort-merge-join SpGEMM on COO operands (numeric spec)."""
+    spec = semiring.numeric
+    a_order = np.argsort(a.cols, kind="stable")
+    b_order = np.argsort(b.rows, kind="stable")
+    li, ri = join_cartesian(a.cols[a_order], b.rows[b_order])
+    if len(li) == 0:
+        return COOMatrix.empty(a.nrows, b.ncols, dtype=spec.dtype)
+    rows = a.rows[a_order][li]
+    cols = b.cols[b_order][ri]
+    vals = np.asarray(
+        spec.multiply(a.vals[a_order][li], b.vals[b_order][ri])
+    )
+    return _accumulate_coo(a.nrows, b.ncols, rows, cols, vals, spec.add)
+
+
 def spgemm_coo(
     a: COOMatrix, b: COOMatrix, semiring: Semiring = ARITHMETIC
 ) -> COOMatrix:
@@ -154,12 +320,16 @@ def spgemm_coo(
     Never allocates anything proportional to a matrix *dimension* — only to
     the nonzero counts — so it is safe for hypersparse blocks whose inner
     dimension is the 24^k k-mer space (the situation DCSC exists for).  Used
-    by the distributed SUMMA stages.
+    by the distributed SUMMA stages.  Dispatches to a fully vectorized join
+    when the semiring's numeric spec covers the operand value dtypes.
     """
     if a.ncols != b.nrows:
         raise ValueError(f"dimension mismatch: {a.shape} x {b.shape}")
     if a.nnz == 0 or b.nnz == 0:
         return COOMatrix.empty(a.nrows, b.ncols)
+    spec = semiring.numeric
+    if spec is not None and spec.compatible(a.vals.dtype, b.vals.dtype):
+        return _spgemm_coo_numeric(a, b, semiring)
     # Sort A entries by inner index (its columns), B entries by inner index
     # (its rows); join the two sorted key streams.
     a_order = np.argsort(a.cols, kind="stable")

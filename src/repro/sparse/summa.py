@@ -70,7 +70,7 @@ def summa(
         if a_blk.nnz == 0 or b_blk.nnz == 0:
             continue
         part = spgemm_coo(a_blk, b_blk, semiring)
-        acc = part if acc is None else elementwise_add(acc, part, semiring.add)
+        acc = part if acc is None else elementwise_add(acc, part, semiring)
 
     if acc is None:
         acc = COOMatrix.empty(*out_shape)
