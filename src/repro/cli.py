@@ -55,12 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
                    "single-process pipeline")
     p.add_argument("--threads", type=int, default=1,
                    help="alignment threads per process")
-    p.add_argument("--kernel", choices=("join", "numeric", "semiring"),
+    p.add_argument("--kernel",
+                   choices=("join", "numeric", "struct", "semiring"),
                    default="join",
-                   help="single-process overlap kernel: NumPy join "
-                   "(default), numeric SpGEMM fast path, or the generic "
-                   "semiring reference; ignored with --ranks > 1 (the "
-                   "distributed pipeline always uses SUMMA)")
+                   help="overlap kernel: NumPy join (default), numeric "
+                   "SpGEMM fast path, struct expand-reduce (CommonKmers "
+                   "as record columns — what distributed SUMMA runs), or "
+                   "the generic semiring reference; with --ranks > 1 "
+                   "every kernel except 'semiring' selects the SUMMA "
+                   "struct path")
     p.add_argument("--cluster", metavar="TSV", default=None,
                    help="also run Markov Clustering and write "
                    "(id, cluster) rows to this file")
@@ -110,9 +113,6 @@ def main(argv: list[str] | None = None) -> int:
 
     t0 = time.perf_counter()
     if args.ranks > 1:
-        if args.kernel != "join":
-            print(f"warning: --kernel {args.kernel} is ignored with "
-                  f"--ranks > 1 (distributed SUMMA)", file=sys.stderr)
         graph = run_pastis_distributed(store, config, nranks=args.ranks)
     else:
         graph = pastis_pipeline(store, config)

@@ -17,12 +17,16 @@ from .overlap import (
     find_candidate_pairs,
     find_candidate_pairs_numeric,
     find_candidate_pairs_semiring,
+    find_candidate_pairs_struct,
+    symmetrize_candidates,
 )
 from .pipeline import align_candidates, edge_weight, pastis_pipeline
 from .semirings import (
+    CK_DTYPE,
     MAX_SEEDS,
     CommonKmers,
     SeedHit,
+    ck_struct_spec,
     exact_overlap_semiring,
     merge_common_kmers,
     substitute_as_numeric_semiring,
@@ -47,9 +51,13 @@ __all__ = [
     "find_candidate_pairs",
     "find_candidate_pairs_numeric",
     "find_candidate_pairs_semiring",
+    "find_candidate_pairs_struct",
+    "symmetrize_candidates",
     "align_candidates",
     "edge_weight",
     "pastis_pipeline",
+    "CK_DTYPE",
+    "ck_struct_spec",
     "MAX_SEEDS",
     "CommonKmers",
     "SeedHit",

@@ -39,9 +39,13 @@ class PastisConfig:
     kernel:
         Overlap-detection kernel: ``"join"`` (vectorized NumPy sort-merge
         join, the default), ``"numeric"`` (sparse-matrix formulation on the
-        numeric SpGEMM fast path), or ``"semiring"`` (generic object
-        semirings — the literal, slow reference).  All three produce
-        identical output (a tested invariant).
+        numeric SpGEMM fast path), ``"struct"`` (sparse-matrix formulation
+        with ``CommonKmers`` as struct-of-arrays record columns — the
+        kernel the distributed SUMMA stage uses), or ``"semiring"``
+        (generic object semirings — the literal, slow reference).  All
+        produce identical output (a tested invariant).  The distributed
+        pipeline runs the struct formulation for every kernel except
+        ``"semiring"``, which forces the object reference path there too.
     """
 
     k: int = 6
@@ -62,9 +66,9 @@ class PastisConfig:
     def __post_init__(self) -> None:
         if self.align_mode not in ("xd", "sw"):
             raise ValueError("align_mode must be 'xd' or 'sw'")
-        if self.kernel not in ("join", "numeric", "semiring"):
+        if self.kernel not in ("join", "numeric", "struct", "semiring"):
             raise ValueError(
-                "kernel must be 'join', 'numeric', or 'semiring'"
+                "kernel must be 'join', 'numeric', 'struct', or 'semiring'"
             )
         if self.weight not in ("ani", "ns"):
             raise ValueError("weight must be 'ani' or 'ns'")

@@ -34,19 +34,21 @@ from ..kmers.encoding import kmer_space_size
 from ..mpisim.comm import SimComm, run_spmd
 from ..mpisim.grid import ProcessGrid
 from ..mpisim.tracing import CommTracer
-from ..sparse.coo import COOMatrix
 from ..sparse.distmat import DistSparseMatrix
-from ..sparse.ops import elementwise_add
 from ..sparse.summa import summa
 from .config import PastisConfig
 from .graph import SimilarityGraph
-from .overlap import build_a_triples, build_s_triples
+from .overlap import build_a_triples, build_s_triples, symmetrize_candidates
 from .pipeline import edge_weight
 from .semirings import (
     CommonKmers,
     exact_overlap_semiring,
+    is_ck_records,
+    records_to_common_kmers,
     substitute_as_numeric_semiring,
+    substitute_as_semiring,
     substitute_overlap_encoded_semiring,
+    substitute_overlap_semiring,
 )
 from .exchange import start_exchange
 
@@ -74,40 +76,17 @@ class RankResult:
 def _symmetrize_distributed(
     b: DistSparseMatrix, grid: ProcessGrid, n: int
 ) -> DistSparseMatrix:
-    """Distributed ``B ∪ Bᵀ`` with the canonical merge of
-    :func:`repro.core.overlap.symmetrize_candidates`: on count ties the
-    direction expanded from the smaller global sequence id wins, and the
-    transposed copies' seed tuples are re-oriented with
-    :meth:`CommonKmers.flip`.  One cross-diagonal block exchange (inside
-    ``transpose``) plus a local merge."""
+    """Distributed ``B ∪ Bᵀ``: one cross-diagonal block exchange (inside
+    ``transpose``) hands every rank the partner block that mirrors its own,
+    then the shared block-local merge of
+    :func:`repro.core.overlap.symmetrize_candidates` — the same canonical
+    winner rule (larger count, then smaller AS-side global id, forward on
+    full ties), fully vectorized for struct-record values."""
     bt = b.transpose()
     rs, _ = b.row_range
     cs, _ = b.col_range
-
-    def wrap(coo: COOMatrix, side_from_rows: bool, flip: bool) -> COOMatrix:
-        vals = np.empty(coo.nnz, dtype=object)
-        for t in range(coo.nnz):
-            side = (int(coo.rows[t]) + rs) if side_from_rows else (
-                int(coo.cols[t]) + cs
-            )
-            v = coo.vals[t]
-            vals[t] = (side, v.flip() if flip else v)
-        return COOMatrix(coo.nrows, coo.ncols, coo.rows, coo.cols, vals)
-
-    def pick(x, y):
-        (sx, cx), (sy, cy) = x, y
-        if cx.count != cy.count:
-            return x if cx.count > cy.count else y
-        return x if sx <= sy else y
-
-    merged = elementwise_add(
-        wrap(b.local, side_from_rows=True, flip=False),
-        wrap(bt.local, side_from_rows=False, flip=True),
-        pick,
-    )
-    return DistSparseMatrix(
-        grid=grid, nrows=n, ncols=n, local=merged.map_values(lambda v: v[1])
-    )
+    merged = symmetrize_candidates(b.local, rs, cs, mirror=bt.local)
+    return DistSparseMatrix(grid=grid, nrows=n, ncols=n, local=merged)
 
 
 def _extract_block_pairs(
@@ -121,8 +100,20 @@ def _extract_block_pairs(
     ``pi < pj`` covers every global off-diagonal pair exactly once."""
     rs, _ = b.row_range
     cs, _ = b.col_range
-    out: list[tuple[int, int, CommonKmers]] = []
     loc = b.local
+    if is_ck_records(loc.vals):
+        keep = (loc.rows < loc.cols) | (
+            (loc.rows == loc.cols) & (grid.row < grid.col)
+        )
+        gi = loc.rows + rs
+        gj = loc.cols + cs
+        keep &= gi != gj  # global self-pair
+        cks = records_to_common_kmers(loc.vals[keep])
+        return [
+            (int(i), int(j), ck)
+            for i, j, ck in zip(gi[keep], gj[keep], cks)
+        ]
+    out: list[tuple[int, int, CommonKmers]] = []
     for t in range(loc.nnz):
         r, c = int(loc.rows[t]), int(loc.cols[t])
         if r < c or (r == c and grid.row < grid.col):
@@ -133,14 +124,68 @@ def _extract_block_pairs(
     return out
 
 
+def _overlap_semirings(reference: bool):
+    """The semirings of the distributed overlap stage.
+
+    ``reference=True`` is the literal object formulation: ``SeedHit`` /
+    ``CommonKmers`` values and per-element Python ``add``/``multiply``
+    everywhere (the struct spec is stripped so nothing vectorizes).
+    Otherwise the fast formulation: the AS stage on the int64-packed
+    numeric path and the ``B`` stage on SUMMA's block-local struct
+    expand-reduce.
+    """
+    from dataclasses import replace
+
+    if reference:
+        return (
+            substitute_as_semiring(),
+            substitute_overlap_semiring(),
+            replace(exact_overlap_semiring(), struct=None),
+        )
+    return (
+        substitute_as_numeric_semiring(),
+        substitute_overlap_encoded_semiring(),
+        exact_overlap_semiring(),
+    )
+
+
+def _ck_packable(comm: SimComm, *value_arrays) -> bool:
+    """Collective check that every position/distance across all ranks fits
+    the CommonKmers seed pack (:data:`~repro.core.semirings.CK_SEED_LIMIT`).
+
+    The fast/reference choice must be grid-wide — if ranks disagreed, SUMMA
+    would mix record-valued and object-valued blocks mid-reduction — so the
+    local maxima are folded with one allreduce and every rank decides
+    identically.  Positions and distances share one fold, so the stricter
+    distance bound is applied to both.
+    """
+    from .semirings import CK_DIST_LIMIT
+
+    local = 0
+    for arr in value_arrays:
+        if len(arr):
+            local = max(local, int(np.asarray(arr).max()))
+    return comm.allreduce(local, max) < int(CK_DIST_LIMIT)
+
+
 def pastis_rank(
     comm: SimComm,
     fasta_bytes: bytes,
     config: PastisConfig,
+    s_triples: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
 ) -> RankResult:
-    """SPMD body: one rank of the distributed pipeline."""
+    """SPMD body: one rank of the distributed pipeline.
+
+    ``s_triples`` optionally injects a precomputed substitute matrix ``S``
+    (global k-mer ids); each rank contributes an interleaved slice and the
+    redistribution routes every triple to its owner block.
+    """
     timings: dict[str, float] = {}
     grid = ProcessGrid.create(comm)
+    reference = config.kernel == "semiring"
+    as_semiring, overlap_semiring, exact_semiring = (
+        _overlap_semirings(reference)
+    )
 
     # -- 1. parallel FASTA parse ------------------------------------------
     t0 = time.perf_counter()
@@ -177,10 +222,23 @@ def pastis_rank(
     # -- 5. SpGEMM(s) ---------------------------------------------------------
     if config.substitutes > 0:
         t0 = time.perf_counter()
-        local_kmers = np.unique(cols)
-        s_rows, s_cols, s_dist = build_s_triples(
-            local_kmers, config.k, config.substitutes, config.scoring
-        )
+        if s_triples is None:
+            local_kmers = np.unique(cols)
+            s_rows, s_cols, s_dist = build_s_triples(
+                local_kmers, config.k, config.substitutes, config.scoring
+            )
+        else:
+            mine = slice(comm.rank, None, comm.size)
+            s_rows = np.asarray(s_triples[0], dtype=np.int64)[mine]
+            s_cols = np.asarray(s_triples[1], dtype=np.int64)[mine]
+            s_dist = np.asarray(s_triples[2], dtype=np.int64)[mine]
+        # positions/distances beyond the seed-pack bit budget knock the
+        # whole grid back to the object reference (collectively — mixed
+        # per-rank representations would corrupt the SUMMA reduction)
+        if not reference and not _ck_packable(comm, pos, s_dist):
+            as_semiring, overlap_semiring, exact_semiring = (
+                _overlap_semirings(True)
+            )
         s = DistSparseMatrix.distribute(
             grid, kspace, kspace, s_rows, s_cols, s_dist
         )
@@ -188,15 +246,17 @@ def pastis_rank(
         s.local = s.local.sum_duplicates(lambda x, y: x)
         timings["form S"] = time.perf_counter() - t0
 
-        # AS runs on the numeric fast path: positions/distances are int64
-        # end to end, so SUMMA's local multiplies are fully vectorized and
-        # the AS values travel as packed int64 seed hits.
+        # On the fast kernels the AS stage runs numerically (positions /
+        # distances int64 end to end, AS values travel as packed int64 seed
+        # hits) and the (AS)Aᵀ stage runs SUMMA's block-local struct
+        # expand-reduce — CommonKmers as record columns, no per-element
+        # Python.  kernel="semiring" swaps in the object reference.
         t0 = time.perf_counter()
-        a_s = summa(a, s, substitute_as_numeric_semiring())
+        a_s = summa(a, s, as_semiring)
         timings["AS"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        b = summa(a_s, at, substitute_overlap_encoded_semiring())
+        b = summa(a_s, at, overlap_semiring)
         timings["(AS)AT"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -204,7 +264,9 @@ def pastis_rank(
         timings["sym."] = time.perf_counter() - t0
     else:
         t0 = time.perf_counter()
-        b = summa(a, at, exact_overlap_semiring())
+        if not reference and not _ck_packable(comm, pos):
+            _, _, exact_semiring = _overlap_semirings(True)
+        b = summa(a, at, exact_semiring)
         timings["(AS)AT"] = time.perf_counter() - t0
 
     # -- 6. finish the exchange --------------------------------------------
@@ -266,6 +328,7 @@ def run_pastis_distributed(
     config: PastisConfig | None = None,
     nranks: int = 4,
     tracer: CommTracer | None = None,
+    s_triples: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
 ) -> SimilarityGraph:
     """Convenience driver: run the SPMD pipeline on ``nranks`` simulated
     ranks and assemble the global PSG.
@@ -273,11 +336,12 @@ def run_pastis_distributed(
     ``nranks`` must be a perfect square (paper requirement).  The graph's
     ``meta`` carries per-rank timing dissections — the data behind the
     Fig. 15/16-style component plots — and total alignment counts.
+    ``s_triples`` optionally substitutes a precomputed ``S`` matrix.
     """
     config = config or PastisConfig()
     fasta = store_to_fasta_bytes(store)
     results: list[RankResult] = run_spmd(
-        nranks, pastis_rank, fasta, config, tracer=tracer
+        nranks, pastis_rank, fasta, config, s_triples, tracer=tracer
     )
     edges: list[tuple[int, int, float]] = []
     for r in results:

@@ -1,18 +1,24 @@
 """Overlap detection: matrices ``A``/``S`` and candidate-pair extraction.
 
-Two interchangeable implementations of ``B = A Aᵀ`` / ``B = (A S) Aᵀ``:
+Interchangeable implementations of ``B = A Aᵀ`` / ``B = (A S) Aᵀ``:
 
 * :func:`find_candidate_pairs_semiring` — the literal formulation: build the
-  sparse matrices and run the generic semiring SpGEMM.  This is the
-  reference the distributed SUMMA path also uses.
+  sparse matrices and run the generic object-semiring SpGEMM.  The slow,
+  always-correct reference every other kernel is validated against.
 * :func:`find_candidate_pairs` — a NumPy join formulation of the same
   computation (sort by k-mer, expand the per-k-mer cartesian products,
-  reduce by pair).  Orders of magnitude faster in pure Python; tests assert
-  it agrees with the semiring path.
+  reduce by pair).  Orders of magnitude faster in pure Python.
+* :func:`find_candidate_pairs_numeric` — the matrix formulation on the
+  numeric SpGEMM fast path (int64-packed seed hits), consuming the raw
+  partial-product stream of the final ``· Aᵀ`` stage directly.
+* :func:`find_candidate_pairs_struct` — the matrix formulation with
+  ``CommonKmers`` as struct-of-arrays record columns: the single-process
+  form of the block-local expand-reduce kernel distributed SUMMA runs.
 
-Both return :class:`CandidatePairs`: for every unordered sequence pair
+All return :class:`CandidatePairs`: for every unordered sequence pair
 ``(i < j)`` sharing at least one (substitute) k-mer, the shared count and up
-to :data:`~repro.core.semirings.MAX_SEEDS` seed positions.
+to :data:`~repro.core.semirings.MAX_SEEDS` seed positions; agreement across
+all four kernels is a tested invariant.
 """
 
 from __future__ import annotations
@@ -26,19 +32,26 @@ from ..bio.sequences import SequenceStore
 from ..kmers.encoding import kmer_space_size
 from ..kmers.extraction import store_kmers
 from ..kmers.substitutes import substitute_kmer_ids
-from ..sparse.coo import COOMatrix
+from ..sparse.coo import COOMatrix, group_coords
 from ..sparse.csr import CSRMatrix
 from ..sparse.ops import triu
 from ..sparse.spgemm import join_cartesian, spgemm, spgemm_expand, spgemm_hash
 from .config import PastisConfig
 from .semirings import (
+    CK_SEED_FIELDS,
+    CK_SEED_NONE,
     MAX_SEEDS,
     CommonKmers,
+    ck_flip_records,
     decode_seed_hits,
     exact_overlap_semiring,
+    is_ck_records,
+    records_to_common_kmers,
     substitute_as_numeric_semiring,
     substitute_as_semiring,
+    substitute_overlap_encoded_semiring,
     substitute_overlap_semiring,
+    unpack_seeds,
 )
 
 __all__ = [
@@ -48,6 +61,7 @@ __all__ = [
     "find_candidate_pairs",
     "find_candidate_pairs_numeric",
     "find_candidate_pairs_semiring",
+    "find_candidate_pairs_struct",
     "symmetrize_candidates",
 ]
 
@@ -479,7 +493,10 @@ def find_candidate_pairs_numeric(
 
 
 def symmetrize_candidates(
-    b: COOMatrix, row_offset: int = 0, col_offset: int = 0
+    b: COOMatrix,
+    row_offset: int = 0,
+    col_offset: int = 0,
+    mirror: COOMatrix | None = None,
 ) -> COOMatrix:
     """``B ∪ Bᵀ`` for :class:`~repro.core.semirings.CommonKmers` values,
     with seed orientation corrected on the transposed copies.
@@ -491,47 +508,87 @@ def symmetrize_candidates(
     ``col_offset`` translate block-local coordinates to global ids for the
     distributed pipeline (the tie-break needs global ids).
 
-    Offsets must be equal-shaped translations of the same square matrix; for
-    a distributed block they are the block's global row/column starts and
-    the transposed partner block supplies the mirrored entries before this
-    merge (see :mod:`repro.core.distributed`).
+    Off-diagonal-block contract
+    ---------------------------
+    The mirrored entries of an output block at global position
+    ``(row_offset, col_offset)`` live in the partner block at
+    ``(col_offset, row_offset)``; ``mirror`` must be that partner block
+    *transposed into this block's index space* (exactly what
+    :meth:`~repro.sparse.distmat.DistSparseMatrix.transpose` delivers).  Its
+    entry at local ``(r, c)`` is the un-flipped directed value of global
+    coordinate ``(col_offset + c, row_offset + r)``, so its AS side is
+    ``col_offset + c`` and its seeds are flipped here.  When ``mirror`` is
+    omitted it defaults to ``b.transpose()``, which is only the partner
+    block when ``b`` *is* its own mirror — a square diagonal block
+    (``row_offset == col_offset``); unequal offsets without an explicit
+    mirror raise :class:`ValueError` instead of silently merging entries
+    from the wrong coordinate space.
+
+    Values may be ``CommonKmers`` objects or struct-of-arrays records
+    (:data:`~repro.core.semirings.CK_DTYPE`); the winner selection is one
+    vectorized fused-key sort either way, and the record path touches no
+    per-element Python at all.
     """
+    if mirror is None:
+        if row_offset != col_offset or b.nrows != b.ncols:
+            raise ValueError(
+                "off-diagonal block symmetrization needs the mirrored "
+                "partner block: pass mirror= (see the off-diagonal-block "
+                "contract in the docstring)"
+            )
+        mirror = b.transpose()
+    if mirror.shape != b.shape:
+        raise ValueError(
+            f"mirror shape {mirror.shape} does not match block {b.shape}"
+        )
+    # mixed representations (one side fell back to objects): unpack the
+    # record side so the merge never mixes np.void records with objects
+    if is_ck_records(b.vals) != is_ck_records(mirror.vals):
+        if is_ck_records(b.vals):
+            b = COOMatrix(b.nrows, b.ncols, b.rows, b.cols,
+                          records_to_common_kmers(b.vals))
+        else:
+            mirror = COOMatrix(mirror.nrows, mirror.ncols, mirror.rows,
+                               mirror.cols,
+                               records_to_common_kmers(mirror.vals))
 
-    def wrap(coo: COOMatrix, roff: int, flipped: bool) -> COOMatrix:
-        vals = np.empty(coo.nnz, dtype=object)
-        for t in range(coo.nnz):
-            v = coo.vals[t]
-            if flipped:
-                v = v.flip()
-            # as_side = global id of the sequence whose substitutes were
-            # expanded (the AS-side row of the original directed entry)
-            vals[t] = (int(coo.rows[t]) + roff if not flipped
-                       else int(coo.cols[t]) + roff, v)
-        return COOMatrix(coo.nrows, coo.ncols, coo.rows, coo.cols, vals)
-
-    fwd = wrap(b, row_offset, flipped=False)
-    bwd_t = b.transpose()
-    bwd = wrap(bwd_t, col_offset, flipped=True)
-    # NOTE: after transpose, bwd rows live in b's column space; when b is a
-    # square diagonal entity (single process or diagonal block) the spaces
-    # coincide.  Distributed off-diagonal blocks must not use this helper
-    # directly on one block — they merge against the mirrored block instead.
-    merged = COOMatrix(
-        b.nrows,
-        b.ncols,
-        np.concatenate((fwd.rows, bwd.rows)),
-        np.concatenate((fwd.cols, bwd.cols)),
-        np.concatenate((fwd.vals, bwd.vals)),
+    rows = np.concatenate((b.rows, mirror.rows))
+    cols = np.concatenate((b.cols, mirror.cols))
+    # as_side = global id of the sequence whose substitutes were expanded
+    # (the AS-side row of the original directed entry)
+    side = np.concatenate(
+        (b.rows + row_offset, mirror.cols + col_offset)
+    )
+    # forward entries first: the stable sort makes them win full ties
+    flag = np.concatenate(
+        (np.zeros(b.nnz, dtype=np.int64), np.ones(mirror.nnz, dtype=np.int64))
     )
 
-    def pick(x, y):
-        (sx, cx), (sy, cy) = x, y
-        if cx.count != cy.count:
-            return x if cx.count > cy.count else y
-        return x if sx <= sy else y
+    struct_path = is_ck_records(b.vals) and is_ck_records(mirror.vals)
+    if struct_path:
+        vals = np.concatenate((b.vals, ck_flip_records(mirror.vals)))
+        counts = vals["count"]
+    else:
+        # mirrored values are flipped lazily — only the group winners pay
+        # the per-element flip; counts are read out as one column
+        vals = np.concatenate((b.vals, mirror.vals))
+        counts = np.fromiter(
+            (v.count for v in vals), dtype=np.int64, count=len(vals)
+        )
+    if len(rows) == 0:
+        return COOMatrix(b.nrows, b.ncols, rows, cols, vals)
 
-    out = merged.sum_duplicates(pick)
-    return out.map_values(lambda v: v[1])
+    # per coordinate: count descending, AS side ascending, forward first —
+    # the first entry of every (row, col) group is the canonical winner
+    order, winners, _, out_rows, out_cols = group_coords(
+        b.nrows, b.ncols, rows, cols, tiebreak=(flag, side, -counts)
+    )
+    out_vals = vals[order][winners]
+    if not struct_path:
+        flagw = flag[order][winners]
+        for t in np.flatnonzero(flagw):
+            out_vals[t] = out_vals[t].flip()
+    return COOMatrix(b.nrows, b.ncols, out_rows, out_cols, out_vals)
 
 
 # ---------------------------------------------------------------------------
@@ -542,35 +599,80 @@ def symmetrize_candidates(
 def find_candidate_pairs_semiring(
     store: SequenceStore,
     config: PastisConfig,
+    s_triples: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
 ) -> CandidatePairs:
     """Reference overlap detection through the PASTIS semirings and the
     generic hash SpGEMM — slow, but a direct transcription of the paper's
-    matrix formulation.  Used to validate the vectorized path."""
+    matrix formulation.  Used to validate the vectorized paths.
+    ``s_triples`` allows reusing a precomputed ``S``."""
     n, a, vocab = _build_a_matrix(store, config)
     at = a.transpose()
     if config.substitutes == 0:
         b = spgemm_hash(a, at, exact_overlap_semiring())
     else:
-        s = _build_s_matrix(vocab, config)
+        s = _build_s_matrix(vocab, config, s_triples)
         a_s = spgemm_hash(a, s, substitute_as_semiring())
         b = spgemm_hash(
             CSRMatrix.from_coo(a_s), at, substitute_overlap_semiring()
         )
         b = symmetrize_candidates(b)
-    upper = triu(b, k=1)
-    ri = upper.rows
-    rj = upper.cols
+    return _pairs_from_common_kmers(n, triu(b, k=1)).sort()
+
+
+def _pairs_from_common_kmers(n: int, upper: COOMatrix) -> CandidatePairs:
+    """Unpack an upper-triangle ``B`` into :class:`CandidatePairs`; values
+    may be :class:`CommonKmers` objects or CK struct records."""
     npairs = upper.nnz
     counts = np.empty(npairs, dtype=np.int64)
     spos_i = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
     spos_j = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
     sdist = np.full((npairs, MAX_SEEDS), -1, dtype=np.int64)
-    for p, v in enumerate(upper.vals):
-        assert isinstance(v, CommonKmers)
-        counts[p] = v.count
-        for s, (pi, pj, dd) in enumerate(v.seeds[:MAX_SEEDS]):
-            spos_i[p, s] = pi
-            spos_j[p, s] = pj
-            sdist[p, s] = dd
-    out = CandidatePairs(n, ri, rj, counts, spos_i, spos_j, sdist)
-    return out.sort()
+    if is_ck_records(upper.vals):
+        counts[:] = upper.vals["count"]
+        for s, f in enumerate(CK_SEED_FIELDS):
+            packed = upper.vals[f]
+            has = packed != CK_SEED_NONE
+            pi, pj, dd = unpack_seeds(packed[has])
+            spos_i[has, s] = pi
+            spos_j[has, s] = pj
+            sdist[has, s] = dd
+    else:
+        for p, v in enumerate(upper.vals):
+            assert isinstance(v, CommonKmers)
+            counts[p] = v.count
+            for s, (pi, pj, dd) in enumerate(v.seeds[:MAX_SEEDS]):
+                spos_i[p, s] = pi
+                spos_j[p, s] = pj
+                sdist[p, s] = dd
+    return CandidatePairs(
+        n, upper.rows, upper.cols, counts, spos_i, spos_j, sdist
+    )
+
+
+def find_candidate_pairs_struct(
+    store: SequenceStore,
+    config: PastisConfig,
+    s_triples: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> CandidatePairs:
+    """Overlap detection through the sparse-matrix machinery on the struct
+    expand-reduce path — the same SpGEMMs as the semiring reference, but
+    every ``CommonKmers`` travels as struct-of-arrays record columns and no
+    per-element Python semiring op ever runs.
+
+    This is the single-process form of the kernel SUMMA uses for the
+    distributed ``(AS) Aᵀ`` / ``A Aᵀ`` stage; it agrees exactly with
+    :func:`find_candidate_pairs_semiring` (a tested invariant).
+    """
+    n, a, vocab = _build_a_matrix(store, config)
+    at = a.transpose()
+    if config.substitutes == 0:
+        b = spgemm(a, at, exact_overlap_semiring())
+    else:
+        s = _build_s_matrix(vocab, config, s_triples)
+        a_s = spgemm(a, s, substitute_as_numeric_semiring())
+        b = spgemm(
+            CSRMatrix.from_coo(a_s), at,
+            substitute_overlap_encoded_semiring(),
+        )
+        b = symmetrize_candidates(b)
+    return _pairs_from_common_kmers(n, triu(b, k=1)).sort()

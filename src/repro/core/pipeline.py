@@ -22,6 +22,7 @@ from .overlap import (
     find_candidate_pairs,
     find_candidate_pairs_numeric,
     find_candidate_pairs_semiring,
+    find_candidate_pairs_struct,
 )
 from ..sparse.coo import COOMatrix
 
@@ -92,6 +93,7 @@ def pastis_pipeline(
     overlap_impl = {
         "join": find_candidate_pairs,
         "numeric": find_candidate_pairs_numeric,
+        "struct": find_candidate_pairs_struct,
         "semiring": find_candidate_pairs_semiring,
     }[config.kernel]
     pairs = overlap_impl(store, config)

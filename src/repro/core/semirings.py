@@ -20,15 +20,28 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..sparse.semiring import NumericSpec, Semiring
+from ..sparse.semiring import NumericSpec, Semiring, StructSpec
 
 __all__ = [
     "SeedHit",
     "CommonKmers",
     "MAX_SEEDS",
     "SEED_ENCODE_SHIFT",
+    "CK_DTYPE",
+    "CK_DIST_LIMIT",
+    "CK_SEED_FIELDS",
+    "CK_SEED_LIMIT",
+    "CK_SEED_NONE",
     "encode_seed_hits",
     "decode_seed_hits",
+    "pack_seeds",
+    "unpack_seeds",
+    "is_ck_records",
+    "common_kmers_to_records",
+    "records_to_common_kmers",
+    "ck_flip_records",
+    "ck_merge_records",
+    "ck_struct_spec",
     "exact_overlap_semiring",
     "substitute_as_semiring",
     "substitute_as_numeric_semiring",
@@ -96,7 +109,10 @@ def exact_overlap_semiring() -> Semiring:
     def mul(pos_r, pos_c) -> CommonKmers:
         return CommonKmers(1, ((int(pos_r), int(pos_c), 0),))
 
-    return Semiring("pastis_exact_overlap", merge_common_kmers, mul)
+    return Semiring(
+        "pastis_exact_overlap", merge_common_kmers, mul,
+        struct=ck_struct_spec(encoded=False),
+    )
 
 
 def substitute_as_semiring() -> Semiring:
@@ -186,5 +202,230 @@ def substitute_overlap_encoded_semiring() -> Semiring:
         )
 
     return Semiring(
-        "pastis_substitute_overlap_encoded", merge_common_kmers, mul
+        "pastis_substitute_overlap_encoded", merge_common_kmers, mul,
+        struct=ck_struct_spec(encoded=True),
+    )
+
+
+# ---------------------------------------------------------------------------
+# struct twins: CommonKmers as struct-of-arrays record columns
+# ---------------------------------------------------------------------------
+
+#: A ``B``-stage seed ``(pos_row, pos_col, distance)`` packs into one int64
+#: as ``(distance * LIMIT + pos_row) * LIMIT + pos_col``, so integer order
+#: over the packing equals the canonical CommonKmers seed order
+#: ``(distance, pos_row, pos_col)``.  Positions must be smaller than
+#: :data:`CK_SEED_LIMIT` (2^21 ≈ 2.1 M — far above any sequence length
+#: this pipeline sees) and distances smaller than :data:`CK_DIST_LIMIT`.
+CK_SEED_LIMIT = np.int64(1) << 21
+
+#: Distance bound of the seed pack: one below :data:`CK_SEED_LIMIT`, so
+#: the maximal packable triple stays strictly below int64 max and can
+#: never collide with the :data:`CK_SEED_NONE` sentinel.
+CK_DIST_LIMIT = CK_SEED_LIMIT - 1
+
+#: Sentinel for an unused seed slot; int64 max so packed seeds sort first
+#: and empty slots stay at the tail under ``np.sort``.  The distance bound
+#: above reserves this value: no real seed packs to it.
+CK_SEED_NONE = np.int64(np.iinfo(np.int64).max)
+
+#: Record columns of a struct-valued ``B``: the shared-k-mer count plus the
+#: top-``MAX_SEEDS`` packed seeds in ascending canonical order.
+CK_SEED_FIELDS = tuple(f"seed{s + 1}" for s in range(MAX_SEEDS))
+CK_DTYPE = np.dtype(
+    [("count", np.int64)] + [(f, np.int64) for f in CK_SEED_FIELDS]
+)
+
+
+def pack_seeds(pos_row, pos_col, dist):
+    """Pack ``(pos_row, pos_col, distance)`` seeds (scalars or arrays) into
+    int64 preserving the canonical ``(distance, pos_row, pos_col)`` order."""
+    pr = np.asarray(pos_row, dtype=np.int64)
+    pc = np.asarray(pos_col, dtype=np.int64)
+    d = np.asarray(dist, dtype=np.int64)
+    for name, arr, limit in (
+        ("pos_row", pr, CK_SEED_LIMIT),
+        ("pos_col", pc, CK_SEED_LIMIT),
+        ("distance", d, CK_DIST_LIMIT),
+    ):
+        if arr.size and (int(arr.min()) < 0
+                         or int(arr.max()) >= int(limit)):
+            raise ValueError(
+                f"seed {name} out of the packable range [0, {int(limit)})"
+            )
+    return (d * CK_SEED_LIMIT + pr) * CK_SEED_LIMIT + pc
+
+
+def unpack_seeds(packed):
+    """Unpack int64 seeds into ``(pos_row, pos_col, distance)``.  Sentinel
+    (:data:`CK_SEED_NONE`) entries decode to arbitrary values — mask them
+    out first."""
+    p = np.asarray(packed, dtype=np.int64)
+    return (p // CK_SEED_LIMIT) % CK_SEED_LIMIT, p % CK_SEED_LIMIT, (
+        p // (CK_SEED_LIMIT * CK_SEED_LIMIT)
+    )
+
+
+def is_ck_records(arr) -> bool:
+    """Whether a value array holds struct-of-arrays CommonKmers records."""
+    return getattr(arr, "dtype", None) == CK_DTYPE
+
+
+def _ck_blank(n: int) -> np.ndarray:
+    rec = np.empty(n, dtype=CK_DTYPE)
+    rec["count"] = 1
+    for f in CK_SEED_FIELDS[1:]:
+        rec[f] = CK_SEED_NONE
+    return rec
+
+
+def _ck_expand_exact(pos_r: np.ndarray, pos_c: np.ndarray) -> np.ndarray:
+    """One record per exact partial product: count 1, one seed at
+    distance 0."""
+    rec = _ck_blank(len(pos_r))
+    rec["seed1"] = pack_seeds(pos_r, pos_c, np.zeros(len(pos_r), np.int64))
+    return rec
+
+
+def _ck_expand_encoded(enc: np.ndarray, pos_c: np.ndarray) -> np.ndarray:
+    """One record per ``(AS) Aᵀ`` partial product: the AS value is an
+    int64-encoded :class:`SeedHit` (see :data:`SEED_ENCODE_SHIFT`)."""
+    enc = np.asarray(enc, dtype=np.int64)
+    rec = _ck_blank(len(enc))
+    rec["seed1"] = pack_seeds(
+        enc % SEED_ENCODE_SHIFT, pos_c, enc // SEED_ENCODE_SHIFT
+    )
+    return rec
+
+
+def _fits_seed_limit(arr: np.ndarray, limit=CK_SEED_LIMIT) -> bool:
+    arr = np.asarray(arr)
+    if len(arr) == 0:
+        return True
+    return int(arr.min()) >= 0 and int(arr.max()) < int(limit)
+
+
+def _ck_operands_ok_exact(pos_r: np.ndarray, pos_c: np.ndarray) -> bool:
+    """Both operand position arrays must fit the seed pack; otherwise the
+    dispatchers fall back to the always-correct object path."""
+    return _fits_seed_limit(pos_r) and _fits_seed_limit(pos_c)
+
+
+def _ck_operands_ok_encoded(enc: np.ndarray, pos_c: np.ndarray) -> bool:
+    """Encoded AS hits decode to (position, distance); both components and
+    the right-hand positions must fit the seed pack."""
+    enc = np.asarray(enc)
+    if len(enc) and int(enc.min()) < 0:
+        return False
+    return (
+        _fits_seed_limit(enc % SEED_ENCODE_SHIFT)
+        and _fits_seed_limit(enc // SEED_ENCODE_SHIFT, CK_DIST_LIMIT)
+        and _fits_seed_limit(pos_c)
+    )
+
+
+def _ck_sort_key(records: np.ndarray) -> np.ndarray:
+    # expanded records carry their single seed in ``seed1``; sorting by it
+    # realises the canonical (distance, pos_row, pos_col) group order
+    return records["seed1"]
+
+
+def _ck_reduce(records: np.ndarray, starts: np.ndarray,
+               sizes: np.ndarray) -> np.ndarray:
+    """Fold groups of expanded records (sorted by ``seed1`` within each
+    group): count = group size, seeds = the ``MAX_SEEDS`` lowest."""
+    out = np.empty(len(starts), dtype=CK_DTYPE)
+    out["count"] = np.add.reduceat(records["count"], starts)
+    for s, f in enumerate(CK_SEED_FIELDS):
+        col = np.full(len(starts), CK_SEED_NONE, dtype=np.int64)
+        has = sizes > s
+        col[has] = records["seed1"][starts[has] + s]
+        out[f] = col
+    return out
+
+
+def ck_merge_records(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Elementwise :meth:`CommonKmers.merge` on aligned record arrays:
+    counts add, seeds are the ``MAX_SEEDS`` lowest of the union (sentinels
+    sort last, so unused slots never displace real seeds)."""
+    out = np.empty(len(x), dtype=CK_DTYPE)
+    out["count"] = x["count"] + y["count"]
+    stacked = np.stack(
+        [x[f] for f in CK_SEED_FIELDS] + [y[f] for f in CK_SEED_FIELDS],
+        axis=1,
+    )
+    stacked.sort(axis=1)
+    for s, f in enumerate(CK_SEED_FIELDS):
+        out[f] = stacked[:, s]
+    return out
+
+
+def ck_flip_records(records: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`CommonKmers.flip`: swap the row/column role of
+    every seed, then restore ascending canonical order."""
+    cols = []
+    for f in CK_SEED_FIELDS:
+        packed = records[f]
+        valid = packed != CK_SEED_NONE
+        pr, pc, d = unpack_seeds(packed)
+        # sentinel lanes decode to garbage outside the packable range;
+        # zero them before repacking, then restore the sentinel
+        pr, pc, d = (np.where(valid, x, 0) for x in (pr, pc, d))
+        cols.append(np.where(valid, pack_seeds(pc, pr, d), CK_SEED_NONE))
+    stacked = np.stack(cols, axis=1)
+    stacked.sort(axis=1)
+    out = np.empty(len(records), dtype=CK_DTYPE)
+    out["count"] = records["count"]
+    for s, f in enumerate(CK_SEED_FIELDS):
+        out[f] = stacked[:, s]
+    return out
+
+
+def records_to_common_kmers(records: np.ndarray) -> np.ndarray:
+    """Record array -> ``dtype=object`` array of :class:`CommonKmers`."""
+    out = np.empty(len(records), dtype=object)
+    seed_cols = [records[f] for f in CK_SEED_FIELDS]
+    for i in range(len(records)):
+        seeds = []
+        for col in seed_cols:
+            packed = int(col[i])
+            if packed == int(CK_SEED_NONE):
+                break
+            pr, pc, d = unpack_seeds(packed)
+            seeds.append((int(pr), int(pc), int(d)))
+        out[i] = CommonKmers(int(records["count"][i]), tuple(seeds))
+    return out
+
+
+def common_kmers_to_records(values) -> np.ndarray:
+    """``dtype=object`` array (or sequence) of :class:`CommonKmers` ->
+    record array."""
+    values = list(values)
+    out = np.empty(len(values), dtype=CK_DTYPE)
+    for i, v in enumerate(values):
+        out["count"][i] = v.count
+        for s, f in enumerate(CK_SEED_FIELDS):
+            if s < len(v.seeds):
+                pr, pc, d = v.seeds[s]
+                out[f][i] = pack_seeds(pr, pc, d)
+            else:
+                out[f][i] = CK_SEED_NONE
+    return out
+
+
+def ck_struct_spec(encoded: bool) -> StructSpec:
+    """The :class:`~repro.sparse.semiring.StructSpec` of the ``B``-stage
+    semirings: ``encoded=True`` for ``(AS) Aᵀ`` (left values are packed
+    seed hits), ``False`` for exact ``A Aᵀ`` (left values are positions)."""
+    return StructSpec(
+        dtype=CK_DTYPE,
+        expand=_ck_expand_encoded if encoded else _ck_expand_exact,
+        reduce=_ck_reduce,
+        merge=ck_merge_records,
+        sort_key=_ck_sort_key,
+        to_objects=records_to_common_kmers,
+        from_objects=common_kmers_to_records,
+        operand_dtype=np.int64,
+        operands_ok=(_ck_operands_ok_encoded if encoded
+                     else _ck_operands_ok_exact),
     )

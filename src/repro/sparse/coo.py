@@ -16,7 +16,7 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
-__all__ = ["COOMatrix"]
+__all__ = ["COOMatrix", "group_coords"]
 
 
 def _as_values(vals: Any, n: int) -> np.ndarray:
@@ -35,6 +35,52 @@ def _as_values(vals: Any, n: int) -> np.ndarray:
     for i, v in enumerate(vals):
         arr[i] = v
     return arr
+
+
+def group_coords(
+    nrows: int,
+    ncols: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    tiebreak: tuple = (),
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stable coordinate grouping of a (non-empty) triple stream: sort by
+    ``(row, col)`` with optional within-group ``tiebreak`` keys, then find
+    the group boundaries.
+
+    Returns ``(order, starts, sizes, group_rows, group_cols)``: ``order``
+    permutes the stream, ``starts``/``sizes`` delimit each coordinate's
+    run within the permuted stream, and ``group_rows``/``group_cols`` are
+    the unique coordinates in ascending order.  ``tiebreak`` keys follow
+    ``np.lexsort`` convention (least significant first) and order entries
+    *within* a coordinate group.
+
+    When ``row * ncols + col`` fits in int64 the sort runs on that fused
+    key (stable integer argsort is radix-based and much faster than a
+    multi-key lexsort); hypersparse shapes that would overflow fall back
+    to ``np.lexsort``.  This is the one shared group-by under the SpGEMM
+    accumulators, the struct record merge, and the symmetrization
+    winner selection.
+    """
+    if 0 < nrows <= (2**62) // max(ncols, 1):
+        key = rows * ncols + cols
+        order = (np.lexsort((*tiebreak, key)) if tiebreak
+                 else np.argsort(key, kind="stable"))
+        k = key[order]
+        boundary = np.ones(len(k), dtype=bool)
+        boundary[1:] = k[1:] != k[:-1]
+        starts = np.flatnonzero(boundary)
+        uniq = k[starts]
+        group_rows, group_cols = uniq // ncols, uniq % ncols
+    else:
+        order = np.lexsort((*tiebreak, cols, rows))
+        r, c = rows[order], cols[order]
+        boundary = np.ones(len(r), dtype=bool)
+        boundary[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        starts = np.flatnonzero(boundary)
+        group_rows, group_cols = r[starts], c[starts]
+    sizes = np.diff(np.append(starts, len(rows)))
+    return order, starts, sizes, group_rows, group_cols
 
 
 def _reduce_sorted_coords(

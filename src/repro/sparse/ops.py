@@ -8,7 +8,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from .coo import COOMatrix
+from .coo import COOMatrix, group_coords
 from .semiring import Semiring
 
 __all__ = [
@@ -72,15 +72,31 @@ def elementwise_add(
     ``add`` may be a scalar callable, a binary ufunc, or a whole
     :class:`~repro.sparse.semiring.Semiring` — in the latter case the
     vectorized ``reduceat`` fold is used whenever the semiring's numeric
-    spec covers both operand value dtypes.
+    spec covers both operand value dtypes, and the fused-key struct merge
+    whenever both operands carry the struct spec's record columns.
     """
     if a.shape != b.shape:
         raise ValueError("shape mismatch")
     if isinstance(add, Semiring):
         spec = add.numeric
+        sspec = add.struct
         if spec is not None and spec.compatible(a.vals.dtype, b.vals.dtype):
             add = spec.add
+        elif (sspec is not None and sspec.is_reduced(a.vals.dtype)
+                and sspec.is_reduced(b.vals.dtype)):
+            return _merge_struct(a, b, sspec)
         else:
+            # mixed representations (one operand fell back to objects):
+            # unpack the record side before the scalar fold — a raw
+            # concatenation would silently mix np.void records into the
+            # object stream
+            if (sspec is not None and sspec.to_objects is not None):
+                if sspec.is_reduced(a.vals.dtype):
+                    a = COOMatrix(a.nrows, a.ncols, a.rows, a.cols,
+                                  sspec.to_objects(a.vals))
+                if sspec.is_reduced(b.vals.dtype):
+                    b = COOMatrix(b.nrows, b.ncols, b.rows, b.cols,
+                                  sspec.to_objects(b.vals))
             add = add.add
     merged = COOMatrix(
         a.nrows,
@@ -90,6 +106,28 @@ def elementwise_add(
         np.concatenate((a.vals, b.vals)),
     )
     return merged.sum_duplicates(add)
+
+
+def _merge_struct(a: COOMatrix, b: COOMatrix, spec) -> COOMatrix:
+    """``A ⊕ B`` for struct-record values: one stable fused-key sort, then
+    layered vectorized ``merge`` of colliding coordinates — no per-element
+    Python anywhere.  Handles duplicate coordinates within either operand
+    too (groups larger than two fold left-to-right, which the associative
+    ``merge`` contract makes order-insensitive)."""
+    rows = np.concatenate((a.rows, b.rows))
+    cols = np.concatenate((a.cols, b.cols))
+    vals = np.concatenate((a.vals, b.vals))
+    if len(rows) == 0:
+        return COOMatrix(a.nrows, a.ncols, rows, cols, vals)
+    order, starts, sizes, out_rows, out_cols = group_coords(
+        a.nrows, a.ncols, rows, cols
+    )
+    vals = vals[order]
+    acc = vals[starts].copy()
+    for s in range(1, int(sizes.max())):
+        has = sizes > s
+        acc[has] = spec.merge(acc[has], vals[starts[has] + s])
+    return COOMatrix(a.nrows, a.ncols, out_rows, out_cols, acc)
 
 
 def diagonal_mask(m: COOMatrix, keep_diagonal: bool = False) -> COOMatrix:

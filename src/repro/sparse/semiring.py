@@ -31,6 +31,30 @@ used whenever values are Python objects, and the property tests in
 bundled semiring.  Because the vectorized kernels fold groups in the same
 deterministic order as the scalar kernels, results are identical — bitwise,
 even for floats.
+
+Struct-semiring contract
+------------------------
+Some semirings produce values that do not fit one scalar — PASTIS's
+``CommonKmers`` carries a count plus the top-``MAX_SEEDS`` seed pairs.  A
+:class:`StructSpec` declares the vectorized form of such a semiring over a
+NumPy *structured* dtype (struct-of-arrays record columns):
+
+* ``expand`` turns the aligned operand value arrays of a partial-product
+  stream into one record per partial product (the vectorized ``multiply``);
+* ``reduce`` folds each group of a coordinate-sorted record stream into one
+  record (the vectorized ``add`` over raw partial products); it is only ever
+  applied to ``expand`` output, sorted within each group by ``sort_key``;
+* ``merge`` combines two aligned arrays of *reduced* records elementwise —
+  the accumulation step SUMMA needs between stages.  ``merge`` must be
+  associative and commutative, and ``reduce`` must equal repeated ``merge``
+  of the group's singleton records;
+* ``to_objects`` / ``from_objects`` convert between record arrays and the
+  scalar semiring's Python values, so results can cross back into the
+  generic world (and be cross-validated against it).
+
+As with :class:`NumericSpec`, the scalar operators remain authoritative and
+the kernels silently fall back to them whenever ``compatible`` rejects the
+operand dtypes, so declaring a struct spec never changes results.
 """
 
 from __future__ import annotations
@@ -42,6 +66,7 @@ import numpy as np
 
 __all__ = [
     "NumericSpec",
+    "StructSpec",
     "Semiring",
     "ARITHMETIC",
     "BOOLEAN",
@@ -95,6 +120,78 @@ class NumericSpec:
 
 
 @dataclass(frozen=True)
+class StructSpec:
+    """Declarative vectorized form of a semiring whose values are
+    fixed-width multi-column records (see the module docstring).
+
+    Attributes
+    ----------
+    dtype:
+        Structured record dtype of reduced values (e.g. ``count`` plus
+        packed seed columns for ``CommonKmers``).
+    expand:
+        ``(a_vals, b_vals) -> records`` — one record per partial product.
+    reduce:
+        ``(sorted_records, group_starts, group_sizes) -> records`` — fold
+        each group of an ``expand`` stream sorted by (coordinate,
+        ``sort_key``) into one record.
+    merge:
+        ``(x_records, y_records) -> records`` — elementwise, associative,
+        commutative combine of two aligned arrays of reduced records.
+    sort_key:
+        Optional ``records -> int64 array`` giving the canonical
+        within-group order ``reduce`` expects; ``None`` means any order.
+    to_objects / from_objects:
+        Converters between record arrays and ``dtype=object`` arrays of the
+        scalar semiring's values.
+    operand_dtype:
+        Dtype the operand value arrays must be castable to (under
+        ``"same_kind"``) for the struct path to engage.
+    operands_ok:
+        Optional value-range predicate ``(a_vals, b_vals) -> bool``; when it
+        returns False the dispatchers fall back to the generic kernels
+        instead of engaging a spec whose packing could not represent the
+        values (e.g. seed positions beyond the CommonKmers bit budget).
+    """
+
+    dtype: Any
+    expand: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    reduce: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+    merge: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    sort_key: Callable[[np.ndarray], np.ndarray] | None = None
+    to_objects: Callable[[np.ndarray], np.ndarray] | None = None
+    from_objects: Callable[[np.ndarray], np.ndarray] | None = None
+    operand_dtype: Any = np.int64
+    operands_ok: Callable[[np.ndarray, np.ndarray], bool] | None = None
+
+    def compatible(self, *dtypes: Any) -> bool:
+        """Whether operand value arrays of the given dtypes can use the
+        struct fast path."""
+        target = np.dtype(self.operand_dtype)
+        for dt in dtypes:
+            dt = np.dtype(dt)
+            if dt == object or dt.kind == "b" or dt.names is not None:
+                return False
+            if not np.can_cast(dt, target, casting="same_kind"):
+                return False
+        return True
+
+    def is_reduced(self, dtype: Any) -> bool:
+        """Whether ``dtype`` is this spec's reduced record dtype (i.e. the
+        values are already struct columns that ``merge`` can combine)."""
+        return np.dtype(dtype) == np.dtype(self.dtype)
+
+    def engages(self, a_vals: np.ndarray, b_vals: np.ndarray) -> bool:
+        """Full dispatch check: operand dtypes are compatible AND the
+        values fit the spec's packing (``operands_ok``)."""
+        if not self.compatible(a_vals.dtype, b_vals.dtype):
+            return False
+        return self.operands_ok is None or bool(
+            self.operands_ok(a_vals, b_vals)
+        )
+
+
+@dataclass(frozen=True)
 class Semiring:
     """A semiring ``(add, multiply)`` with optional mapping of raw matrix
     values into the multiplication domain.
@@ -115,6 +212,9 @@ class Semiring:
     numeric:
         Optional :class:`NumericSpec` enabling the vectorized kernels (see
         the module docstring for the contract).
+    struct:
+        Optional :class:`StructSpec` enabling the vectorized expand-reduce
+        kernels for multi-column record values.  Checked after ``numeric``.
     """
 
     name: str
@@ -122,6 +222,7 @@ class Semiring:
     multiply: Callable[[Any, Any], Any]
     zero: Any = None
     numeric: NumericSpec | None = field(default=None, compare=False)
+    struct: "StructSpec | None" = field(default=None, compare=False)
 
     def __repr__(self) -> str:
         return f"Semiring({self.name!r})"

@@ -12,9 +12,13 @@ vectorized numeric fast path:
   :class:`~repro.sparse.semiring.NumericSpec`: expand every partial product
   with NumPy gather/repeat, then fold duplicates with ``lexsort`` +
   ``ufunc.reduceat``.  No per-element Python dispatch anywhere.
+* :func:`spgemm_struct` — expand-reduce for semirings declaring a
+  :class:`~repro.sparse.semiring.StructSpec` (multi-column record values,
+  e.g. PASTIS's ``CommonKmers``): vectorized partial-product expansion,
+  then a block-local NumPy group-reduce into struct-of-arrays columns.
 * :func:`spgemm` — the dispatcher: numeric fast path when the semiring and
-  the value dtypes permit, else hash/heap chosen per the expected work per
-  row (CombBLAS-style).
+  the value dtypes permit, then the struct path, else hash/heap chosen per
+  the expected work per row (CombBLAS-style).
 
 All variants are generic over :class:`~repro.sparse.semiring.Semiring` and
 return a duplicate-free :class:`~repro.sparse.coo.COOMatrix`.  Every
@@ -30,7 +34,7 @@ from typing import Any
 
 import numpy as np
 
-from .coo import COOMatrix, _reduce_sorted_coords
+from .coo import COOMatrix, group_coords
 from .csr import CSRMatrix
 from .semiring import ARITHMETIC, Semiring
 
@@ -39,10 +43,12 @@ __all__ = [
     "spgemm_hash",
     "spgemm_heap",
     "spgemm_numeric",
+    "spgemm_struct",
     "spgemm_expand",
     "spgemm_scipy",
     "spgemm_coo",
     "join_cartesian",
+    "result_dtype",
 ]
 
 #: Average partial products per row above which the hash strategy is used.
@@ -216,30 +222,15 @@ def _accumulate_coo(
     vals: np.ndarray,
     add: np.ufunc,
 ) -> COOMatrix:
-    """Fold a partial-product stream by output coordinate: stable sort by
-    ``(row, col)`` then ``add.reduceat`` per group — the vectorized
-    equivalent of sequential accumulation in stream order.
-
-    When ``row * ncols + col`` fits in int64 the sort runs on that fused
-    key (stable integer argsort is radix-based and much faster than a
-    two-key lexsort); hypersparse shapes that would overflow fall back to
-    ``np.lexsort``.
-    """
-    if 0 < nrows <= (2**62) // max(ncols, 1):
-        key = rows * ncols + cols
-        order = np.argsort(key, kind="stable")
-        k, v = key[order], vals[order]
-        boundary = np.ones(len(k), dtype=bool)
-        boundary[1:] = k[1:] != k[:-1]
-        starts = np.flatnonzero(boundary)
-        uniq = k[starts]
-        return COOMatrix(nrows, ncols, uniq // ncols, uniq % ncols,
-                         add.reduceat(v, starts))
-    order = np.lexsort((cols, rows))
-    return COOMatrix(
-        nrows, ncols,
-        *_reduce_sorted_coords(rows[order], cols[order], vals[order], add),
+    """Fold a partial-product stream by output coordinate: the shared
+    :func:`~repro.sparse.coo.group_coords` sort then ``add.reduceat`` per
+    group — the vectorized equivalent of sequential accumulation in
+    stream order."""
+    order, starts, _, out_rows, out_cols = group_coords(
+        nrows, ncols, rows, cols
     )
+    return COOMatrix(nrows, ncols, out_rows, out_cols,
+                     add.reduceat(vals[order], starts))
 
 
 def spgemm_numeric(
@@ -269,19 +260,122 @@ def spgemm_numeric(
     return _accumulate_coo(a.nrows, b.ncols, rows, cols, vals, spec.add)
 
 
+def result_dtype(semiring: Semiring, *operand_dtypes) -> Any:
+    """The value dtype a fast-path product of the given operands would
+    carry: the numeric spec's dtype, else the struct spec's record dtype,
+    else int64 (the legacy placeholder for empty generic results).
+
+    Empty results must still declare the dtype the engaged kernel family
+    would have produced — an int64 empty from a rank with no work would
+    silently knock every later concatenation off the fast path.
+    """
+    spec = semiring.numeric
+    if spec is not None and spec.compatible(*operand_dtypes):
+        return spec.dtype
+    sspec = semiring.struct
+    if sspec is not None and sspec.compatible(*operand_dtypes):
+        return sspec.dtype
+    return np.int64
+
+
+# ---------------------------------------------------------------------------
+# vectorized struct expand-reduce path
+# ---------------------------------------------------------------------------
+
+
+def _accumulate_struct(
+    nrows: int,
+    ncols: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    records: np.ndarray,
+    spec,
+) -> COOMatrix:
+    """Group a partial-product record stream by output coordinate and fold
+    each group with the spec's vectorized ``reduce``.
+
+    The stream is stably sorted by ``(row, col)`` via the shared
+    :func:`~repro.sparse.coo.group_coords`, with the spec's ``sort_key``
+    as the within-group tiebreak, so ``reduce`` sees every group in its
+    canonical accumulation order.
+    """
+    sk = spec.sort_key(records) if spec.sort_key is not None else None
+    order, starts, sizes, out_rows, out_cols = group_coords(
+        nrows, ncols, rows, cols,
+        tiebreak=() if sk is None else (sk,),
+    )
+    reduced = spec.reduce(records[order], starts, sizes)
+    return COOMatrix(nrows, ncols, out_rows, out_cols, reduced)
+
+
+def spgemm_struct(
+    a: CSRMatrix, b: CSRMatrix, semiring: Semiring
+) -> COOMatrix:
+    """Vectorized SpGEMM for semirings with a struct spec.
+
+    Row-expansion via :func:`spgemm_expand`, vectorized ``expand`` into one
+    record per partial product, then a block-local group-reduce into
+    struct-of-arrays columns.  Raises :class:`TypeError` when the semiring
+    has no struct spec or the operand value dtypes are incompatible
+    (callers wanting automatic fallback should use :func:`spgemm`).
+    """
+    _check_dims(a, b)
+    spec = semiring.struct
+    if spec is None:
+        raise TypeError(f"semiring {semiring.name!r} has no struct spec")
+    if not spec.compatible(a.data.dtype, b.data.dtype):
+        raise TypeError(
+            f"value dtypes ({a.data.dtype}, {b.data.dtype}) are not "
+            f"compatible with the {semiring.name!r} struct spec"
+        )
+    if spec.operands_ok is not None and not spec.operands_ok(a.data, b.data):
+        raise TypeError(
+            f"operand values do not fit the {semiring.name!r} struct "
+            f"spec's packing (callers wanting automatic fallback should "
+            f"use spgemm)"
+        )
+    rows, cols, a_vals, b_vals = spgemm_expand(a, b)
+    if len(rows) == 0:
+        return COOMatrix.empty(a.nrows, b.ncols, dtype=spec.dtype)
+    records = spec.expand(a_vals, b_vals)
+    return _accumulate_struct(a.nrows, b.ncols, rows, cols, records, spec)
+
+
+def _spgemm_coo_struct(
+    a: COOMatrix, b: COOMatrix, semiring: Semiring
+) -> COOMatrix:
+    """Vectorized sort-merge-join SpGEMM on COO operands (struct spec)."""
+    spec = semiring.struct
+    a_order = np.argsort(a.cols, kind="stable")
+    b_order = np.argsort(b.rows, kind="stable")
+    li, ri = join_cartesian(a.cols[a_order], b.rows[b_order])
+    if len(li) == 0:
+        return COOMatrix.empty(a.nrows, b.ncols, dtype=spec.dtype)
+    rows = a.rows[a_order][li]
+    cols = b.cols[b_order][ri]
+    records = spec.expand(a.vals[a_order][li], b.vals[b_order][ri])
+    return _accumulate_struct(a.nrows, b.ncols, rows, cols, records, spec)
+
+
 def spgemm(
     a: CSRMatrix, b: CSRMatrix, semiring: Semiring = ARITHMETIC
 ) -> COOMatrix:
     """Dispatcher: the numeric fast path when the semiring declares one and
-    the value dtypes permit; otherwise hash for dense-ish accumulations,
-    heap for very sparse rows, decided by the expected partial products per
-    row (CombBLAS-style)."""
+    the value dtypes permit, then the struct expand-reduce path; otherwise
+    hash for dense-ish accumulations, heap for very sparse rows, decided by
+    the expected partial products per row (CombBLAS-style)."""
     _check_dims(a, b)
     if a.nrows == 0 or a.nnz == 0 or b.nnz == 0:
-        return COOMatrix.empty(a.nrows, b.ncols)
+        return COOMatrix.empty(
+            a.nrows, b.ncols,
+            dtype=result_dtype(semiring, a.data.dtype, b.data.dtype),
+        )
     spec = semiring.numeric
     if spec is not None and spec.compatible(a.data.dtype, b.data.dtype):
         return spgemm_numeric(a, b, semiring)
+    sspec = semiring.struct
+    if sspec is not None and sspec.engages(a.data, b.data):
+        return spgemm_struct(a, b, semiring)
     flops = _estimate_flops(a, b)
     if flops / max(a.nrows, 1) >= _HYBRID_THRESHOLD:
         return spgemm_hash(a, b, semiring)
@@ -321,15 +415,22 @@ def spgemm_coo(
     the nonzero counts — so it is safe for hypersparse blocks whose inner
     dimension is the 24^k k-mer space (the situation DCSC exists for).  Used
     by the distributed SUMMA stages.  Dispatches to a fully vectorized join
-    when the semiring's numeric spec covers the operand value dtypes.
+    when the semiring's numeric or struct spec covers the operand value
+    dtypes.
     """
     if a.ncols != b.nrows:
         raise ValueError(f"dimension mismatch: {a.shape} x {b.shape}")
     if a.nnz == 0 or b.nnz == 0:
-        return COOMatrix.empty(a.nrows, b.ncols)
+        return COOMatrix.empty(
+            a.nrows, b.ncols,
+            dtype=result_dtype(semiring, a.vals.dtype, b.vals.dtype),
+        )
     spec = semiring.numeric
     if spec is not None and spec.compatible(a.vals.dtype, b.vals.dtype):
         return _spgemm_coo_numeric(a, b, semiring)
+    sspec = semiring.struct
+    if sspec is not None and sspec.engages(a.vals, b.vals):
+        return _spgemm_coo_struct(a, b, semiring)
     # Sort A entries by inner index (its columns), B entries by inner index
     # (its rows); join the two sorted key streams.
     a_order = np.argsort(a.cols, kind="stable")

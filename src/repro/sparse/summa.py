@@ -6,6 +6,13 @@ For ``C = A · B`` on a q x q grid, stage ``t`` broadcasts the blocks
 ``A[:, t]`` along grid rows and ``B[t, :]`` along grid columns; every rank
 multiplies the received pair locally and folds the partial result into its
 accumulator with the semiring's ``add``.
+
+Both the block multiply and the cross-stage accumulation stay fully
+vectorized whenever the semiring declares a numeric or struct spec covering
+the operand dtypes: the multiply runs the expand-reduce kernels of
+:mod:`repro.sparse.spgemm`, and :func:`repro.sparse.ops.elementwise_add`
+folds stages with ``reduceat`` (numeric) or the fused-key record merge
+(struct) instead of per-element Python ``add``.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from .coo import COOMatrix
 from .distmat import DistSparseMatrix
 from .ops import elementwise_add
 from .semiring import ARITHMETIC, Semiring
-from .spgemm import spgemm_coo
+from .spgemm import result_dtype, spgemm_coo
 
 __all__ = ["summa"]
 
@@ -73,7 +80,13 @@ def summa(
         acc = part if acc is None else elementwise_add(acc, part, semiring)
 
     if acc is None:
-        acc = COOMatrix.empty(*out_shape)
+        # an all-empty rank must still emit the dtype the engaged kernel
+        # family produces, or gather/merge would demote typed siblings
+        acc = COOMatrix.empty(
+            *out_shape,
+            dtype=result_dtype(semiring, a.local.vals.dtype,
+                               b.local.vals.dtype),
+        )
     return DistSparseMatrix(
         grid=grid, nrows=a.nrows, ncols=b.ncols, local=acc
     )

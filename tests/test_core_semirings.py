@@ -7,8 +7,11 @@ from repro.core.semirings import (
     MAX_SEEDS,
     CommonKmers,
     SeedHit,
+    ck_flip_records,
+    common_kmers_to_records,
     exact_overlap_semiring,
     merge_common_kmers,
+    records_to_common_kmers,
     substitute_as_semiring,
     substitute_overlap_semiring,
 )
@@ -50,6 +53,29 @@ class TestCommonKmers:
         ck = CommonKmers(2, ((1, 9, 0), (2, 0, 0)))
         f = ck.flip()
         assert f.seeds == ((0, 2, 0), (9, 1, 0))
+
+    def test_flip_reorders_on_distance_ties(self):
+        # the PR 1 divergence: equal-distance seeds must be re-sorted by
+        # the *new* (pos_row, pos_col) after the swap — a flip is not a
+        # per-seed map, it changes which seed comes first
+        ck = CommonKmers(2, ((2, 9, 1), (5, 1, 1)))
+        f = ck.flip()
+        assert f.seeds == ((1, 5, 1), (9, 2, 1))
+        # flipping twice restores the original (the order is canonical
+        # on both sides)
+        assert f.flip() == ck
+
+    def test_flip_struct_records_match_scalar(self):
+        cks = [
+            CommonKmers(2, ((2, 9, 1), (5, 1, 1))),  # distance-tie reorder
+            CommonKmers(2, ((1, 9, 0), (2, 0, 0))),
+            CommonKmers(1, ((7, 3, 2),)),            # single seed
+            CommonKmers(3, ()),                       # no seeds
+        ]
+        flipped = records_to_common_kmers(
+            ck_flip_records(common_kmers_to_records(cks))
+        )
+        assert list(flipped) == [ck.flip() for ck in cks]
 
 
 class TestSemirings:

@@ -50,9 +50,9 @@ def test_golden_oblivious(data, config):
     golden = edge_bytes(pastis_pipeline(data.store, config))
     assert golden, "pipeline produced no edges — the invariant is vacuous"
 
-    # kernel obliviousness: numeric fast path and the literal object
-    # semiring reference serialise identically
-    for kernel in ("numeric", "semiring"):
+    # kernel obliviousness: the numeric and struct fast paths and the
+    # literal object semiring reference serialise identically
+    for kernel in ("numeric", "struct", "semiring"):
         got = edge_bytes(
             pastis_pipeline(data.store, replace(config, kernel=kernel))
         )

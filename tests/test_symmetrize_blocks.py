@@ -1,0 +1,165 @@
+"""Block-wise symmetrization: the off-diagonal offset contract.
+
+``symmetrize_candidates`` historically computed the AS-side global id of
+mirrored entries from the *column* offset, which is only correct for square
+diagonal blocks (``row_offset == col_offset``) — the old NOTE admitted as
+much.  These tests pin the repaired contract: an off-diagonal block must be
+merged against its explicitly supplied mirrored partner block, the helper
+must refuse unequal offsets without one, and the block-wise results (object
+and struct-record values alike) must tile exactly into the global
+single-matrix symmetrization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.overlap import symmetrize_candidates
+from repro.core.semirings import (
+    CK_DTYPE,
+    CommonKmers,
+    common_kmers_to_records,
+    records_to_common_kmers,
+)
+from repro.mpisim.grid import block_ranges
+from repro.sparse.coo import COOMatrix
+
+
+def _random_directed_b(n: int, seed: int, nnz: int) -> COOMatrix:
+    """A directed candidate matrix: off-diagonal CommonKmers entries, some
+    coordinates present in both orientations (including count ties)."""
+    rng = np.random.default_rng(seed)
+    coords: set[tuple[int, int]] = set()
+    while len(coords) < nnz:
+        i, j = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if i != j:
+            coords.add((i, j))
+    # force both orientations (and some equal counts) into the mix
+    both = list(coords)[: nnz // 3]
+    coords.update((j, i) for i, j in both)
+    rows, cols, vals = [], [], []
+    for i, j in sorted(coords):
+        nseeds = int(rng.integers(1, 3))
+        seeds = tuple(
+            sorted(
+                (
+                    (int(rng.integers(0, 40)), int(rng.integers(0, 40)),
+                     int(rng.integers(0, 3)))
+                    for _ in range(nseeds)
+                ),
+                key=lambda s: (s[2], s[0], s[1]),
+            )
+        )
+        rows.append(i)
+        cols.append(j)
+        vals.append(CommonKmers(int(rng.integers(1, 4)), seeds))
+    v = np.empty(len(vals), dtype=object)
+    for t, val in enumerate(vals):
+        v[t] = val
+    return COOMatrix(n, n, rows, cols, v)
+
+
+def _block(b: COOMatrix, rr, cr) -> COOMatrix:
+    keep = ((b.rows >= rr[0]) & (b.rows < rr[1])
+            & (b.cols >= cr[0]) & (b.cols < cr[1]))
+    return COOMatrix(rr[1] - rr[0], cr[1] - cr[0], b.rows[keep] - rr[0],
+                     b.cols[keep] - cr[0], b.vals[keep])
+
+
+def _to_struct(b: COOMatrix) -> COOMatrix:
+    return COOMatrix(b.nrows, b.ncols, b.rows, b.cols,
+                     common_kmers_to_records(list(b.vals)))
+
+
+def _as_dict(b: COOMatrix) -> dict:
+    vals = b.vals
+    if vals.dtype == CK_DTYPE:
+        vals = records_to_common_kmers(vals)
+    return {(int(r), int(c)): v for r, c, v in zip(b.rows, b.cols, vals)}
+
+
+class TestOffsetContract:
+    def test_unequal_offsets_without_mirror_raise(self):
+        b = _random_directed_b(6, 0, 8)
+        with pytest.raises(ValueError, match="mirror"):
+            symmetrize_candidates(b, row_offset=0, col_offset=6)
+
+    def test_rectangular_block_without_mirror_raises(self):
+        b = _random_directed_b(6, 1, 8)
+        blk = _block(b, (0, 2), (0, 6))
+        with pytest.raises(ValueError):
+            symmetrize_candidates(blk, 0, 0)
+
+    def test_mirror_shape_mismatch_raises(self):
+        b = _random_directed_b(6, 2, 8)
+        with pytest.raises(ValueError, match="shape"):
+            symmetrize_candidates(b, 0, 0, mirror=_block(b, (0, 3), (0, 6)))
+
+
+@pytest.mark.parametrize("struct", [False, True], ids=["object", "struct"])
+@pytest.mark.parametrize("q", [2, 3])
+@pytest.mark.parametrize("seed", range(3))
+class TestBlocksTileTheGlobalMerge:
+    """Regression for the diagonal-only offset bug: every block of the
+    grid — including off-diagonal blocks with unequal row/col offsets and
+    uneven block sizes — must reproduce its window of the global merge."""
+
+    def test_blockwise_equals_global(self, struct, q, seed):
+        n = 11  # does not divide evenly by q: offsets differ per block
+        b = _random_directed_b(n, seed, 14)
+        ref = _as_dict(symmetrize_candidates(b))
+        ranges = block_ranges(n, q)
+        covered = 0
+        for pi in range(q):
+            for pj in range(q):
+                rr, cr = ranges[pi], ranges[pj]
+                blk = _block(b, rr, cr)
+                # the mirrored partner block, transposed into this block's
+                # index space — what DistSparseMatrix.transpose delivers
+                mirror = _block(b, cr, rr).transpose()
+                if struct:
+                    blk, mirror = _to_struct(blk), _to_struct(mirror)
+                got = symmetrize_candidates(
+                    blk, row_offset=rr[0], col_offset=cr[0], mirror=mirror
+                )
+                for (r, c), v in _as_dict(got).items():
+                    assert ref[(r + rr[0], c + cr[0])] == v
+                    covered += 1
+        assert covered == len(ref)
+
+
+class TestForwardWinsTieBreak:
+    def _tie_matrix(self) -> COOMatrix:
+        # (1, 3) and (3, 1) carry equal counts but different seeds: the
+        # forward direction (AS side = smaller global id 1) must win, and
+        # the (3, 1) output cell must hold the winner's flipped seeds
+        v = np.empty(2, dtype=object)
+        v[0] = CommonKmers(2, ((4, 9, 0), (6, 2, 1)))
+        v[1] = CommonKmers(2, ((8, 3, 0), (1, 7, 1)))
+        return COOMatrix(5, 5, [1, 3], [3, 1], v)
+
+    @pytest.mark.parametrize("struct", [False, True],
+                             ids=["object", "struct"])
+    def test_forward_direction_wins_count_ties(self, struct):
+        b = self._tie_matrix()
+        if struct:
+            b = _to_struct(b)
+        out = _as_dict(symmetrize_candidates(b))
+        assert out[(1, 3)] == CommonKmers(2, ((4, 9, 0), (6, 2, 1)))
+        assert out[(3, 1)] == CommonKmers(2, ((9, 4, 0), (2, 6, 1)))
+
+    @pytest.mark.parametrize("struct", [False, True],
+                             ids=["object", "struct"])
+    def test_larger_count_beats_forward(self, struct):
+        v = np.empty(2, dtype=object)
+        v[0] = CommonKmers(1, ((4, 9, 0),))
+        v[1] = CommonKmers(3, ((8, 3, 0),))
+        b = COOMatrix(5, 5, [1, 3], [3, 1], v)
+        if struct:
+            b = _to_struct(b)
+        out = _as_dict(symmetrize_candidates(b))
+        # the backward direction (3 -> 1) has the larger count: its value
+        # lands unflipped at (3, 1) and flipped at (1, 3)
+        assert out[(3, 1)] == CommonKmers(3, ((8, 3, 0),))
+        assert out[(1, 3)] == CommonKmers(3, ((3, 8, 0),))
