@@ -1,8 +1,9 @@
 """Alignment substrate (SeqAn stand-in): Smith-Waterman with affine gaps,
-gapped x-drop seed-and-extend, ungapped diagonal extension, and the batch
-driver."""
+gapped x-drop seed-and-extend, ungapped diagonal extension, the batch
+driver, and the batched inter-pair wavefront engine."""
 
 from .batch import AlignmentTask, align_batch, align_pair
+from .engine import align_batch_batched, sw_batch, xdrop_extend_batch
 from .smith_waterman import smith_waterman, sw_reference, sw_score_only
 from .stats import AlignmentResult, normalized_score, passes_filter
 from .ungapped import ungapped_align, ungapped_extend
@@ -11,7 +12,10 @@ from .xdrop import ExtensionResult, xdrop_align, xdrop_extend
 __all__ = [
     "AlignmentTask",
     "align_batch",
+    "align_batch_batched",
     "align_pair",
+    "sw_batch",
+    "xdrop_extend_batch",
     "smith_waterman",
     "sw_reference",
     "sw_score_only",

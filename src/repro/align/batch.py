@@ -1,13 +1,25 @@
 """Batch alignment driver.
 
-PASTIS prepares batches of pairwise alignments for SeqAn and lets OpenMP
-threads work through them (Section V).  Each alignment is independent, so
-this driver distributes a list of ``(pair, seeds)`` tasks over a thread
-pool; the per-pair aligner is selected by mode.
+PASTIS prepares batches of pairwise alignments for SeqAn and lets its
+inter-sequence AVX2 vectorization work through them (Section V).  Each
+alignment is independent, so this driver collects ``(pair, seeds)`` tasks
+and dispatches the whole batch to one of two engines:
+
+* ``engine="batched"`` (default) — the inter-pair wavefront engine of
+  :mod:`repro.align.engine`: every DP row advances in all live lanes at
+  once, mirroring the paper's SeqAn batching;
+* ``engine="python"`` — the per-pair reference path (optionally across a
+  thread pool via ``threads``), the always-correct oracle the batched
+  engine is cross-validated against.
+
+Both engines produce byte-identical results (a tested invariant, the same
+contract the overlap stage's ``kernel`` knob has).
 
 For XD mode PASTIS stores up to two shared seeds per pair and aligns from
 each of them, keeping the best-scoring result (Section IV-E); SW ignores the
-seed and aligns the full pair once.
+seed and aligns the full pair once.  A pair whose sequences cannot hold a
+whole ``k``-mer has no legal seed placement and is skipped with an explicit
+empty result instead of faulting the batch.
 """
 
 from __future__ import annotations
@@ -47,10 +59,11 @@ def align_pair(
     xdrop: int = 49,
     traceback: bool = True,
 ) -> AlignmentResult:
-    """Align one candidate pair.
+    """Align one candidate pair (the per-pair reference path).
 
     * ``mode="xd"``: seed-and-extend from each stored seed (at most two),
-      keeping the best score;
+      keeping the best score; a pair too short to hold a ``k``-mer yields
+      the empty result (no legal seed placement exists);
     * ``mode="sw"``: full Smith-Waterman, seeds ignored.
     """
     if mode == "sw":
@@ -60,10 +73,13 @@ def align_pair(
     if mode == "xd":
         if not task.seeds:
             raise ValueError("XD mode requires at least one seed")
+        n, m = len(task.a), len(task.b)
+        if n < k or m < k:
+            return AlignmentResult(0, 0, 0, 0, 0, 0, 0, n, m, "xd")
         best: AlignmentResult | None = None
         for sa, sb in task.seeds[:2]:
-            sa = min(max(int(sa), 0), len(task.a) - k)
-            sb = min(max(int(sb), 0), len(task.b) - k)
+            sa = min(max(int(sa), 0), n - k)
+            sb = min(max(int(sb), 0), m - k)
             res = xdrop_align(
                 task.a, task.b, sa, sb, k, xdrop, scoring, gap_open,
                 gap_extend,
@@ -85,9 +101,22 @@ def align_batch(
     xdrop: int = 49,
     traceback: bool = True,
     threads: int = 1,
+    engine: str = "batched",
 ) -> list[AlignmentResult]:
-    """Align a batch of tasks, optionally across a thread pool, preserving
-    task order in the result list."""
+    """Align a batch of tasks, preserving task order in the result list.
+
+    ``engine`` selects the batched inter-pair wavefront engine
+    (``"batched"``, the default) or the per-pair Python reference
+    (``"python"``); ``threads`` only applies to the reference path.
+    """
+    if engine not in ("batched", "python"):
+        raise ValueError("engine must be 'batched' or 'python'")
+    if engine == "batched":
+        from .engine import align_batch_batched
+
+        return align_batch_batched(
+            tasks, mode, k, scoring, gap_open, gap_extend, xdrop, traceback
+        )
 
     def work(t: AlignmentTask) -> AlignmentResult:
         return align_pair(

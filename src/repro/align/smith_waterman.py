@@ -16,7 +16,10 @@ Row recurrence.  With gap cost ``open + L*extend`` for a gap of length L:
 
 The full ``H`` matrix is retained for an exact traceback that recovers
 matches and alignment length (needed by the ANI filter); ``traceback=False``
-gives the score-only mode that motivates the cheaper NS weighting.
+gives the score-only mode that motivates the cheaper NS weighting.  A
+score-only result carries an explicit *empty* span (all span fields zero) so
+coverage can never be read off it by accident — NS applies no filter, and
+:func:`repro.align.stats.passes_filter` refuses score-only results outright.
 """
 
 from __future__ import annotations
@@ -75,32 +78,20 @@ def sw_score_only(
     return int(_dp_matrix(a, b, scoring, gap_open, gap_extend).max())
 
 
-def smith_waterman(
+def _traceback_stats(
+    H: np.ndarray,
     a: np.ndarray,
     b: np.ndarray,
-    scoring: ScoringMatrix = BLOSUM62,
-    gap_open: int = 11,
-    gap_extend: int = 1,
-    traceback: bool = True,
-) -> AlignmentResult:
-    """Optimal local alignment of encoded sequences ``a`` and ``b``.
-
-    With ``traceback`` the result carries matches/alignment length (ANI) and
-    the aligned spans (coverage); ties prefer diagonal moves, then vertical,
-    then horizontal, deterministically.
-    """
-    n, m = len(a), len(b)
-    if n == 0 or m == 0:
-        return AlignmentResult(0, 0, 0, 0, 0, 0, 0, n, m, "sw")
-    H = _dp_matrix(a, b, scoring, gap_open, gap_extend)
-    score = int(H.max())
-    if score <= 0:
-        return AlignmentResult(0, 0, 0, 0, 0, 0, 0, n, m, "sw")
-    end_i, end_j = np.unravel_index(int(np.argmax(H)), H.shape)
-    if not traceback:
-        return AlignmentResult(
-            score, 0, int(end_i), 0, int(end_j), 0, 0, n, m, "sw"
-        )
+    scoring: ScoringMatrix,
+    gap_open: int,
+    gap_extend: int,
+    end_i: int,
+    end_j: int,
+) -> tuple[int, int, int, int]:
+    """Walk the Gotoh ``H`` matrix back from ``(end_i, end_j)``; returns
+    ``(a_start, b_start, matches, alignment_length)``.  Shared by the
+    per-pair reference and the batched engine so both recover identical
+    stats from identical matrices."""
     i, j = int(end_i), int(end_j)
     matches = 0
     length = 0
@@ -136,6 +127,38 @@ def smith_waterman(
                 break
         if not found:  # pragma: no cover - defensive
             raise AssertionError("traceback failed to find a source cell")
+    return i, j, matches, length
+
+
+def smith_waterman(
+    a: np.ndarray,
+    b: np.ndarray,
+    scoring: ScoringMatrix = BLOSUM62,
+    gap_open: int = 11,
+    gap_extend: int = 1,
+    traceback: bool = True,
+) -> AlignmentResult:
+    """Optimal local alignment of encoded sequences ``a`` and ``b``.
+
+    With ``traceback`` the result carries matches/alignment length (ANI) and
+    the aligned spans (coverage); ties prefer diagonal moves, then vertical,
+    then horizontal, deterministically.  Without it only the score is
+    meaningful and the spans are the explicit empty sentinel (all zero), so
+    a score-only result can never masquerade as a coverage measurement.
+    """
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return AlignmentResult(0, 0, 0, 0, 0, 0, 0, n, m, "sw")
+    H = _dp_matrix(a, b, scoring, gap_open, gap_extend)
+    score = int(H.max())
+    if score <= 0:
+        return AlignmentResult(0, 0, 0, 0, 0, 0, 0, n, m, "sw")
+    if not traceback:
+        return AlignmentResult(score, 0, 0, 0, 0, 0, 0, n, m, "sw")
+    end_i, end_j = np.unravel_index(int(np.argmax(H)), H.shape)
+    i, j, matches, length = _traceback_stats(
+        H, a, b, scoring, gap_open, gap_extend, int(end_i), int(end_j)
+    )
     return AlignmentResult(
         score=score,
         a_start=i,

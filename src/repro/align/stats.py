@@ -23,8 +23,10 @@ class AlignmentResult:
     """Outcome of one pairwise alignment.
 
     Spans are half-open residue ranges of the aligned region on each
-    sequence; ``matches``/``alignment_length`` are 0 when the aligner ran in
-    score-only mode (no traceback).
+    sequence.  A score-only run (no traceback — the NS fast path) carries
+    the explicit empty sentinel: every span field plus ``matches`` and
+    ``alignment_length`` is 0 while ``score`` may be positive, so neither
+    identity nor coverage can be read off it by accident.
     """
 
     score: int
@@ -37,6 +39,12 @@ class AlignmentResult:
     len_a: int
     len_b: int
     mode: str  # "sw", "xd", "ungapped"
+
+    @property
+    def score_only(self) -> bool:
+        """True for results produced without a traceback: a positive score
+        but the empty sentinel span (no identity/coverage information)."""
+        return self.score > 0 and self.alignment_length == 0
 
     @property
     def identity(self) -> float:
@@ -89,7 +97,18 @@ def passes_filter(
     min_coverage: float = 0.70,
 ) -> bool:
     """The paper's post-alignment similarity filter (ANI >= 30 %,
-    shorter-sequence coverage >= 70 % by default)."""
+    shorter-sequence coverage >= 70 % by default).
+
+    Must never be consulted on a score-only result: its sentinel span holds
+    no identity/coverage information, so any verdict would be fabricated.
+    The filter only applies under ANI weighting, which always runs with a
+    traceback.
+    """
+    if result.score_only:
+        raise AssertionError(
+            "passes_filter consulted on a score-only result (no traceback "
+            "was run, so identity/coverage are undefined)"
+        )
     return (
         result.identity >= min_identity
         and result.coverage_short >= min_coverage

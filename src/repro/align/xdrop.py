@@ -21,7 +21,12 @@ import numpy as np
 from ..bio.scoring import BLOSUM62, ScoringMatrix
 from .stats import AlignmentResult
 
-__all__ = ["ExtensionResult", "xdrop_extend", "xdrop_align"]
+__all__ = [
+    "ExtensionResult",
+    "xdrop_extend",
+    "xdrop_align",
+    "assemble_seed_extension",
+]
 
 _NEG = -(10**9)
 
@@ -158,10 +163,6 @@ def xdrop_align(
     n, m = len(a), len(b)
     if not (0 <= seed_a <= n - k and 0 <= seed_b <= m - k):
         raise ValueError("seed does not fit inside the sequences")
-    seed_score = scoring.kmer_match_score(
-        a[seed_a : seed_a + k], b[seed_b : seed_b + k]
-    )
-    seed_matches = int((a[seed_a : seed_a + k] == b[seed_b : seed_b + k]).sum())
     right = xdrop_extend(
         a[seed_a + k :], b[seed_b + k :], xdrop, scoring, gap_open, gap_extend
     )
@@ -169,6 +170,27 @@ def xdrop_align(
         a[:seed_a][::-1], b[:seed_b][::-1], xdrop, scoring, gap_open,
         gap_extend,
     )
+    return assemble_seed_extension(a, b, seed_a, seed_b, k, left, right,
+                                   scoring)
+
+
+def assemble_seed_extension(
+    a: np.ndarray,
+    b: np.ndarray,
+    seed_a: int,
+    seed_b: int,
+    k: int,
+    left: ExtensionResult,
+    right: ExtensionResult,
+    scoring: ScoringMatrix = BLOSUM62,
+) -> AlignmentResult:
+    """Score the seed k-mer as an ungapped match and combine it with its
+    two gapped extensions into the final result — shared by the per-pair
+    path and the batched engine so the span/stat arithmetic exists once."""
+    seed_score = scoring.kmer_match_score(
+        a[seed_a : seed_a + k], b[seed_b : seed_b + k]
+    )
+    seed_matches = int((a[seed_a : seed_a + k] == b[seed_b : seed_b + k]).sum())
     return AlignmentResult(
         score=int(seed_score) + right.score + left.score,
         a_start=seed_a - left.ext_a,
@@ -177,7 +199,7 @@ def xdrop_align(
         b_end=seed_b + k + right.ext_b,
         matches=seed_matches + left.matches + right.matches,
         alignment_length=k + left.length + right.length,
-        len_a=n,
-        len_b=m,
+        len_a=len(a),
+        len_b=len(b),
         mode="xd",
     )

@@ -46,6 +46,13 @@ class PastisConfig:
         produce identical output (a tested invariant).  The distributed
         pipeline runs the struct formulation for every kernel except
         ``"semiring"``, which forces the object reference path there too.
+    align_engine:
+        Alignment-stage engine: ``"batched"`` (the default) packs each
+        rank's candidate pairs into padded lanes and advances every DP row
+        in all live lanes at once — the NumPy analogue of the paper's
+        SeqAn inter-sequence batching; ``"python"`` is the per-pair
+        reference path.  Both produce byte-identical results (a tested
+        invariant, same contract as ``kernel``).
     """
 
     k: int = 6
@@ -62,6 +69,7 @@ class PastisConfig:
     max_seeds: int = 2
     align_threads: int = 1
     kernel: str = "join"
+    align_engine: str = "batched"
 
     def __post_init__(self) -> None:
         if self.align_mode not in ("xd", "sw"):
@@ -70,6 +78,8 @@ class PastisConfig:
             raise ValueError(
                 "kernel must be 'join', 'numeric', 'struct', or 'semiring'"
             )
+        if self.align_engine not in ("batched", "python"):
+            raise ValueError("align_engine must be 'batched' or 'python'")
         if self.weight not in ("ani", "ns"):
             raise ValueError("weight must be 'ani' or 'ns'")
         if self.k < 1:
@@ -86,6 +96,13 @@ class PastisConfig:
         """The 30 %/70 % veto applies to ANI weighting only (Section VI-B:
         no cut-off is applied under NS)."""
         return self.weight == "ani"
+
+    @property
+    def needs_traceback(self) -> bool:
+        """A traceback is only paid for when something consumes it: the
+        ANI weight or the similarity filter.  NS runs score-only
+        (stats.py: "NS ... cheaper because no traceback is needed")."""
+        return self.uses_filter or self.weight == "ani"
 
     @property
     def variant_name(self) -> str:

@@ -293,6 +293,8 @@ def pastis_rank(
                 a=cache[lo], b=cache[hi], seeds=tuple(seeds), pair=(lo, hi)
             )
         )
+    # one batched call per rank: the whole Fig.-11 local triangle goes to
+    # the lane engine at once; NS weighting skips the traceback entirely
     results = align_batch(
         tasks,
         mode=config.align_mode,
@@ -301,8 +303,9 @@ def pastis_rank(
         gap_open=config.gap_open,
         gap_extend=config.gap_extend,
         xdrop=config.xdrop,
-        traceback=True,
+        traceback=config.needs_traceback,
         threads=config.align_threads,
+        engine=config.align_engine,
     )
     edges: list[tuple[int, int, float]] = []
     for task, res in zip(tasks, results):

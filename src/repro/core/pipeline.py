@@ -42,7 +42,13 @@ def align_candidates(
     config: PastisConfig,
 ) -> tuple[list[tuple[int, int, float]], int]:
     """Align candidate pairs, apply the similarity filter, and return the
-    surviving ``(i, j, weight)`` edges plus the number of alignments run."""
+    surviving ``(i, j, weight)`` edges plus the number of alignments run.
+
+    A traceback is only paid for when something consumes it: the ANI
+    weight and the similarity filter.  NS weighting needs the raw score
+    alone (stats.py: "NS ... cheaper because no traceback is needed"), so
+    it runs score-only.
+    """
     tasks = []
     for p in range(pairs.npairs):
         i, j = int(pairs.ri[p]), int(pairs.rj[p])
@@ -62,8 +68,9 @@ def align_candidates(
         gap_open=config.gap_open,
         gap_extend=config.gap_extend,
         xdrop=config.xdrop,
-        traceback=True,
+        traceback=config.needs_traceback,
         threads=config.align_threads,
+        engine=config.align_engine,
     )
     edges: list[tuple[int, int, float]] = []
     for task, res in zip(tasks, results):

@@ -1,0 +1,296 @@
+"""Cross-validation of the batched wavefront engine against the per-pair
+reference, plus the alignment-stage bugfix regressions.
+
+The contract mirrors the overlap stage's ``kernel`` knob: the batched
+engine must produce *byte-identical* ``AlignmentResult``s to mapping
+``align_pair`` over the batch — across modes, weights (traceback on/off),
+ragged lengths, seed counts, and scoring/gap parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.batch import AlignmentTask, align_batch
+from repro.align.engine import sw_batch, xdrop_extend_batch
+from repro.align.smith_waterman import (
+    smith_waterman,
+    sw_reference,
+    sw_score_only,
+)
+from repro.align.stats import passes_filter
+from repro.align.xdrop import xdrop_extend
+from repro.bio.alphabet import PROTEIN_ALPHABET, encode_sequence
+from repro.bio.generate import mutate, random_protein, scope_like
+from repro.bio.scoring import BLOSUM45, BLOSUM62, PAM250
+from repro.core.config import PastisConfig
+from repro.core.distributed import run_pastis_distributed
+from repro.core.pipeline import pastis_pipeline
+
+prot = st.text(alphabet=PROTEIN_ALPHABET[:20], min_size=0, max_size=40)
+
+
+def _random_tasks(seed, n_tasks=40, max_len=90, min_seeds=1, max_seeds=2):
+    """Ragged related/unrelated pairs with random (even out-of-range) seed
+    positions; includes empty and sub-k sequences."""
+    rng = np.random.default_rng(seed)
+    tasks = []
+    for i in range(n_tasks):
+        n = int(rng.integers(0, max_len))
+        a = encode_sequence(random_protein(n, rng)) if n else np.empty(
+            0, dtype=np.int8
+        )
+        if rng.random() < 0.6 and n:
+            b = encode_sequence(mutate(random_protein(n, rng), 0.2, 0.05,
+                                       rng))
+        else:
+            m = int(rng.integers(0, max_len))
+            b = encode_sequence(random_protein(m, rng)) if m else np.empty(
+                0, dtype=np.int8
+            )
+        nseeds = int(rng.integers(min_seeds, max_seeds + 1))
+        seeds = tuple(
+            (int(rng.integers(-5, max(len(a), 1) + 5)),
+             int(rng.integers(-5, max(len(b), 1) + 5)))
+            for _ in range(nseeds)
+        )
+        tasks.append(AlignmentTask(a=a, b=b, seeds=seeds, pair=(i, i + 1)))
+    return tasks
+
+
+PARAMS = [
+    pytest.param(BLOSUM62, 11, 1, 49, id="paper-defaults"),
+    pytest.param(BLOSUM62, 5, 2, 10, id="tight-xdrop"),
+    pytest.param(BLOSUM45, 2, 1, 3, id="blosum45-tiny-xdrop"),
+    pytest.param(PAM250, 13, 3, 120, id="pam250-wide"),
+    pytest.param(BLOSUM62, 60, 1, 49, id="open-exceeds-xdrop"),
+    pytest.param(BLOSUM62, 3, 4, 0, id="zero-xdrop"),
+]
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("scoring,go,ge,xd", PARAMS)
+    @pytest.mark.parametrize("k", [3, 6])
+    def test_xd_mode(self, scoring, go, ge, xd, k):
+        tasks = _random_tasks(seed=go * 100 + ge * 10 + k)
+        ref = align_batch(tasks, "xd", k, scoring, go, ge, xd,
+                          engine="python")
+        got = align_batch(tasks, "xd", k, scoring, go, ge, xd,
+                          engine="batched")
+        assert got == ref
+
+    @pytest.mark.parametrize("scoring,go,ge,xd", PARAMS)
+    @pytest.mark.parametrize("traceback", [True, False],
+                             ids=["ani-traceback", "ns-score-only"])
+    def test_sw_mode(self, scoring, go, ge, xd, traceback):
+        tasks = _random_tasks(seed=go * 7 + ge)
+        ref = align_batch(tasks, "sw", 6, scoring, go, ge, xd,
+                          traceback=traceback, engine="python")
+        got = align_batch(tasks, "sw", 6, scoring, go, ge, xd,
+                          traceback=traceback, engine="batched")
+        assert got == ref
+
+    def test_xdrop_extend_lanes_match_reference(self):
+        rng = np.random.default_rng(5)
+        pairs = []
+        for _ in range(60):
+            n, m = int(rng.integers(0, 70)), int(rng.integers(0, 70))
+            pairs.append((
+                encode_sequence(random_protein(n, rng)) if n else
+                np.empty(0, dtype=np.int8),
+                encode_sequence(random_protein(m, rng)) if m else
+                np.empty(0, dtype=np.int8),
+            ))
+        got = xdrop_extend_batch(pairs, 25)
+        for (a, b), res in zip(pairs, got):
+            assert res == xdrop_extend(a, b, 25)
+
+    def test_sw_lanes_match_reference(self):
+        rng = np.random.default_rng(6)
+        pairs = []
+        for _ in range(40):
+            s = random_protein(int(rng.integers(1, 120)), rng)
+            pairs.append((
+                encode_sequence(s),
+                encode_sequence(mutate(s, 0.3, 0.1, rng)),
+            ))
+        for tb in (True, False):
+            got = sw_batch(pairs, traceback=tb)
+            for (a, b), res in zip(pairs, got):
+                assert res == smith_waterman(a, b, traceback=tb)
+
+    def test_gap_open_zero_falls_back_consistently(self):
+        # the wavefront's prefix-scan derivation needs open >= 1; the
+        # dispatcher must still produce reference results for open == 0
+        tasks = _random_tasks(seed=3, n_tasks=10, max_len=30)
+        ref = align_batch(tasks, "xd", 4, gap_open=0, engine="python")
+        got = align_batch(tasks, "xd", 4, gap_open=0, engine="batched")
+        assert got == ref
+
+    def test_zero_seeds_raises_in_both_engines(self):
+        t = AlignmentTask(a=encode_sequence("AVGDMI"),
+                          b=encode_sequence("AVGDMI"), seeds=())
+        for engine in ("python", "batched"):
+            with pytest.raises(ValueError, match="at least one seed"):
+                align_batch([t], "xd", k=3, engine=engine)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            align_batch([], "sw", k=3, engine="simd")
+
+    def test_empty_batch(self):
+        assert align_batch([], "xd", k=6, engine="batched") == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(prot, prot, st.integers(1, 15), st.integers(0, 4))
+    def test_property_sw_score_only_matches_oracle(self, sa, sb, go, ge):
+        """sw_score_only (the NS lane's scorer) against the textbook
+        cell-by-cell Gotoh oracle, across gap parameters."""
+        a, b = encode_sequence(sa), encode_sequence(sb)
+        assert (
+            sw_score_only(a, b, gap_open=go, gap_extend=ge)
+            == sw_reference(a, b, gap_open=go, gap_extend=ge)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(prot, prot, st.integers(1, 12), st.integers(0, 3),
+           st.integers(0, 60))
+    def test_property_batched_xdrop_matches_reference(self, sa, sb, go, ge,
+                                                      xd):
+        a, b = encode_sequence(sa), encode_sequence(sb)
+        assert xdrop_extend_batch([(a, b)], xd, BLOSUM62, go, ge)[0] == (
+            xdrop_extend(a, b, xd, BLOSUM62, go, ge)
+        )
+
+
+class TestSubKSeedClamp:
+    """Regression: a pair too short to hold a k-mer used to clamp its seed
+    offset negative and fault the whole batch with a ValueError."""
+
+    def _short_task(self):
+        return AlignmentTask(
+            a=encode_sequence("AVG"),          # len 3 < k = 6
+            b=encode_sequence("AVGDMIKRWLE"),
+            seeds=((0, 0),),
+            pair=(0, 1),
+        )
+
+    @pytest.mark.parametrize("engine", ["python", "batched"])
+    def test_sub_k_pair_yields_empty_result(self, engine):
+        res = align_batch([self._short_task()], "xd", k=6, engine=engine)[0]
+        assert res.score == 0
+        assert (res.a_start, res.a_end, res.b_start, res.b_end) == (
+            0, 0, 0, 0
+        )
+        assert res.alignment_length == 0
+        assert (res.len_a, res.len_b) == (3, 11)
+
+    @pytest.mark.parametrize("engine", ["python", "batched"])
+    def test_sub_k_pair_does_not_kill_the_batch(self, engine):
+        rng = np.random.default_rng(9)
+        s = random_protein(50, rng)
+        good = AlignmentTask(
+            a=encode_sequence(s),
+            b=encode_sequence(mutate(s, 0.1, 0.0, rng)),
+            seeds=((10, 10),),
+            pair=(2, 3),
+        )
+        out = align_batch([good, self._short_task(), good], "xd", k=6,
+                          engine=engine)
+        assert out[1].score == 0
+        assert out[0] == out[2]
+        assert out[0].score > 0
+
+    def _store_with_straggler(self):
+        data = scope_like(n_families=2, members_per_family=(3, 3),
+                          length_range=(40, 60), divergence=0.1, seed=4)
+        seqs = [data.store.sequence(i) for i in range(len(data.store))]
+        from repro.bio.sequences import SequenceStore
+
+        return SequenceStore(seqs + ["AVG"])  # sub-k straggler
+
+    def test_pipeline_with_sub_k_sequence_completes(self):
+        g = pastis_pipeline(self._store_with_straggler(), PastisConfig(k=6))
+        assert g.nedges > 0
+
+    def test_distributed_with_sub_k_sequence_completes(self):
+        g = run_pastis_distributed(
+            self._store_with_straggler(), PastisConfig(k=6), nranks=4
+        )
+        assert g.nedges > 0
+
+
+class TestScoreOnlySentinel:
+    """Regression: score-only SW used to report fake spans (a_end/b_end set
+    with zero starts), inflating coverage_short on results that carry no
+    coverage information at all."""
+
+    def test_score_only_span_is_empty(self):
+        s = random_protein(60, 11)
+        a = encode_sequence(s)
+        b = encode_sequence(mutate(s, 0.1, 0.0, 12))
+        res = smith_waterman(a, b, traceback=False)
+        assert res.score > 0
+        assert res.score_only
+        assert (res.a_start, res.a_end, res.b_start, res.b_end) == (
+            0, 0, 0, 0
+        )
+        assert res.coverage_short == 0.0
+
+    def test_passes_filter_refuses_score_only(self):
+        a = encode_sequence("AVGDMIKRW")
+        res = smith_waterman(a, a, traceback=False)
+        with pytest.raises(AssertionError, match="score-only"):
+            passes_filter(res)
+
+    def test_traceback_results_unaffected(self):
+        a = encode_sequence("AVGDMIKRW")
+        res = smith_waterman(a, a, traceback=True)
+        assert not res.score_only
+        assert passes_filter(res)
+
+
+class TestPipelineObliviousness:
+    """The engine knob never changes pipeline output — byte-identical
+    edges, single-process and distributed, both weights."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return scope_like(n_families=3, members_per_family=(3, 3),
+                          length_range=(40, 70), divergence=0.15, seed=55)
+
+    def _edges(self, graph):
+        return sorted(
+            zip(graph.ri.tolist(), graph.rj.tolist(),
+                graph.weights.tolist())
+        )
+
+    @pytest.mark.parametrize("mode", ["xd", "sw"])
+    @pytest.mark.parametrize("weight", ["ani", "ns"])
+    def test_single_process(self, data, mode, weight):
+        ref = pastis_pipeline(
+            data.store,
+            PastisConfig(k=4, align_mode=mode, weight=weight,
+                         align_engine="python"),
+        )
+        got = pastis_pipeline(
+            data.store,
+            PastisConfig(k=4, align_mode=mode, weight=weight,
+                         align_engine="batched"),
+        )
+        assert self._edges(got) == self._edges(ref)
+
+    @pytest.mark.parametrize("weight", ["ani", "ns"])
+    def test_distributed(self, data, weight):
+        ref = run_pastis_distributed(
+            data.store,
+            PastisConfig(k=4, weight=weight, align_engine="python"),
+            nranks=4,
+        )
+        got = run_pastis_distributed(
+            data.store,
+            PastisConfig(k=4, weight=weight, align_engine="batched"),
+            nranks=4,
+        )
+        assert self._edges(got) == self._edges(ref)

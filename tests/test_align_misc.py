@@ -143,9 +143,10 @@ class TestBatch:
             assert r.len_a == len(t.a)
 
     def test_batch_threads_same_results(self):
+        # threads only apply to the per-pair reference engine
         tasks = self._tasks(8)
-        seq = align_batch(tasks, "sw", k=3, threads=1)
-        par = align_batch(tasks, "sw", k=3, threads=4)
+        seq = align_batch(tasks, "sw", k=3, threads=1, engine="python")
+        par = align_batch(tasks, "sw", k=3, threads=4, engine="python")
         assert [r.score for r in seq] == [r.score for r in par]
 
     def test_batch_xd_mode(self):

@@ -37,13 +37,19 @@ class TestParser:
         args = build_parser().parse_args(
             ["in.fa", "-o", "o.tsv", "--k", "4", "-s", "10",
              "--align", "sw", "--weight", "ns", "--ck", "2",
-             "--ranks", "4", "--cluster", "c.tsv"]
+             "--ranks", "4", "--cluster", "c.tsv",
+             "--align-engine", "python"]
         )
         assert args.k == 4
         assert args.substitutes == 10
         assert args.align == "sw"
         assert args.ck == 2
         assert args.cluster == "c.tsv"
+        assert args.align_engine == "python"
+
+    def test_align_engine_default_batched(self):
+        args = build_parser().parse_args(["in.fa", "-o", "out.tsv"])
+        assert args.align_engine == "batched"
 
 
 class TestMain:
@@ -67,6 +73,15 @@ class TestMain:
         assert sorted(out1.read_text().splitlines()) == sorted(
             out4.read_text().splitlines()
         )
+
+    def test_align_engine_oblivious(self, fasta_file, tmp_path):
+        out_b = tmp_path / "eb.tsv"
+        out_p = tmp_path / "ep.tsv"
+        main([str(fasta_file), "-o", str(out_b), "--k", "4", "--quiet",
+              "--align-engine", "batched"])
+        main([str(fasta_file), "-o", str(out_p), "--k", "4", "--quiet",
+              "--align-engine", "python"])
+        assert out_b.read_text() == out_p.read_text()
 
     def test_clustering_output(self, fasta_file, tmp_path):
         out = tmp_path / "edges.tsv"

@@ -136,6 +136,29 @@ class TestProcessObliviousness:
         assert got.edge_set() == ref.edge_set()
         assert np.allclose(np.sort(got.weights), np.sort(ref.weights))
 
+    @pytest.mark.parametrize("weight,expect_traceback",
+                             [("ani", True), ("ns", False)])
+    def test_align_stage_traceback_flag(self, data, monkeypatch, weight,
+                                        expect_traceback):
+        """Regression: every rank's align stage must run score-only under
+        NS weighting — a traceback was hardcoded before, contradicting
+        "NS ... cheaper because no traceback is needed"."""
+        import repro.core.distributed as dist
+
+        seen = []
+        real = dist.align_batch
+
+        def recording(tasks, *args, **kwargs):
+            seen.append(kwargs["traceback"])
+            return real(tasks, *args, **kwargs)
+
+        monkeypatch.setattr(dist, "align_batch", recording)
+        run_pastis_distributed(
+            data.store, PastisConfig(k=4, weight=weight), nranks=4
+        )
+        assert len(seen) == 4  # one batched call per rank (Fig. 11)
+        assert seen == [expect_traceback] * 4
+
 
 def _edge_list(graph) -> list[tuple[int, int, float]]:
     return sorted(

@@ -112,6 +112,25 @@ class TestPipeline:
         g = pastis_pipeline(store, PastisConfig(k=4))
         assert g.nedges == 0
 
+    @pytest.mark.parametrize("weight,expect_traceback",
+                             [("ani", True), ("ns", False)])
+    def test_traceback_only_paid_when_consumed(self, data, monkeypatch,
+                                               weight, expect_traceback):
+        """Regression: NS weighting (no filter) must run score-only — the
+        whole point of NS is that no traceback is needed (Section VI-B)."""
+        import repro.core.pipeline as pl
+
+        seen = []
+        real = pl.align_batch
+
+        def recording(tasks, *args, **kwargs):
+            seen.append(kwargs["traceback"])
+            return real(tasks, *args, **kwargs)
+
+        monkeypatch.setattr(pl, "align_batch", recording)
+        pastis_pipeline(data.store, PastisConfig(k=4, weight=weight))
+        assert seen == [expect_traceback]
+
     def test_substitutes_never_lose_edges(self, data):
         g0 = pastis_pipeline(data.store, PastisConfig(k=5, substitutes=0))
         g5 = pastis_pipeline(data.store, PastisConfig(k=5, substitutes=5))
