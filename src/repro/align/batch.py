@@ -107,11 +107,23 @@ def align_batch(
 
     ``engine`` selects the batched inter-pair wavefront engine
     (``"batched"``, the default) or the per-pair Python reference
-    (``"python"``); ``threads`` only applies to the reference path.
+    (``"python"``); ``threads`` only applies to the reference path — the
+    batched engine vectorizes across the batch instead, so passing both
+    warns and the thread count is ignored.
     """
     if engine not in ("batched", "python"):
         raise ValueError("engine must be 'batched' or 'python'")
     if engine == "batched":
+        if threads > 1:
+            import warnings
+
+            warnings.warn(
+                "align_batch(threads=...) applies only to the 'python' "
+                "engine; the batched engine vectorizes across the batch "
+                "and ignores the thread count",
+                UserWarning,
+                stacklevel=2,
+            )
         from .engine import align_batch_batched
 
         return align_batch_batched(

@@ -71,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="alignment engine: inter-pair batched wavefront "
                    "(default; the paper's SeqAn-style batching) or the "
                    "per-pair Python reference — byte-identical results")
+    p.add_argument("--align-balance", choices=("off", "greedy"),
+                   default="off",
+                   help="cross-rank alignment rebalancing (--ranks > 1): "
+                   "'greedy' costs each rank's candidate pairs in DP "
+                   "cells and ships tasks along one deterministic "
+                   "bin-pack plan so no rank waits on the unluckiest "
+                   "Fig.-11 triangle — byte-identical results")
     p.add_argument("--cluster", metavar="TSV", default=None,
                    help="also run Markov Clustering and write "
                    "(id, cluster) rows to this file")
@@ -104,6 +111,7 @@ def main(argv: list[str] | None = None) -> int:
         align_threads=args.threads,
         kernel=args.kernel,
         align_engine=args.align_engine,
+        align_balance=args.align_balance,
     )
 
     t0 = time.perf_counter()

@@ -53,6 +53,14 @@ class PastisConfig:
         SeqAn inter-sequence batching; ``"python"`` is the per-pair
         reference path.  Both produce byte-identical results (a tested
         invariant, same contract as ``kernel``).
+    align_balance:
+        Cross-rank alignment rebalancing (distributed pipeline only):
+        ``"off"`` (the default) aligns each rank's Fig.-11 triangle where
+        it was extracted; ``"greedy"`` costs every task in DP cells,
+        computes one identical greedy bin-pack plan on all ranks
+        (:mod:`repro.core.balance`), and ships tasks so no rank waits on
+        the unluckiest triangle.  The graph is byte-identical either way
+        (a tested invariant — rebalancing moves work, never changes it).
     """
 
     k: int = 6
@@ -70,6 +78,7 @@ class PastisConfig:
     align_threads: int = 1
     kernel: str = "join"
     align_engine: str = "batched"
+    align_balance: str = "off"
 
     def __post_init__(self) -> None:
         if self.align_mode not in ("xd", "sw"):
@@ -80,6 +89,8 @@ class PastisConfig:
             )
         if self.align_engine not in ("batched", "python"):
             raise ValueError("align_engine must be 'batched' or 'python'")
+        if self.align_balance not in ("off", "greedy"):
+            raise ValueError("align_balance must be 'off' or 'greedy'")
         if self.weight not in ("ani", "ns"):
             raise ValueError("weight must be 'ani' or 'ns'")
         if self.k < 1:

@@ -12,11 +12,19 @@ Every stage of Fig. 1 executed SPMD over the simulated MPI runtime:
 6. waitall on the exchange (the "wait" dissection component);
 7. per-block upper-triangle pair extraction — "moving computation to data"
    (V-D, Fig. 11) — so no rank sits idle and no pair is aligned twice;
-8. local alignments and the similarity filter; edges gathered on rank 0.
+8. optional cross-rank alignment rebalancing (``config.align_balance``):
+   every rank costs its triangle in DP cells, one allgather shares the
+   cost vectors, all ranks compute the identical greedy plan
+   (:mod:`repro.core.balance`) and tasks ship point-to-point; shipped-task
+   receives are progressed with non-blocking ``Request.test`` polls while
+   the local lanes align;
+9. local alignments and the similarity filter; edges stay where they are
+   computed and are gathered on rank 0.
 
 Per-stage wall times are recorded with the same component names as the
 paper's dissection plots (fasta, form A, tr. A, form S, AS, (AS)AT, sym.,
-wait, align).
+wait, rebal., align); the schema is identical across variants — stages a
+variant skips report an explicit ``0.0``.
 """
 
 from __future__ import annotations
@@ -31,14 +39,25 @@ from ..align.stats import passes_filter
 from ..bio.fasta import chunk_boundaries, read_fasta_chunk, FastaRecord
 from ..bio.sequences import DistributedIndex, SequenceStore
 from ..kmers.encoding import kmer_space_size
-from ..mpisim.comm import SimComm, run_spmd
+from ..mpisim.comm import Request, SimComm, run_spmd
 from ..mpisim.grid import ProcessGrid
 from ..mpisim.tracing import CommTracer
 from ..sparse.distmat import DistSparseMatrix
 from ..sparse.summa import summa
+from .balance import (
+    decode_tasks,
+    encode_tasks,
+    estimate_batch_cells,
+    greedy_plan,
+)
 from .config import PastisConfig
 from .graph import SimilarityGraph
-from .overlap import build_a_triples, build_s_triples, symmetrize_candidates
+from .overlap import (
+    build_a_triples,
+    build_s_triples,
+    ck_keep_mask,
+    symmetrize_candidates,
+)
 from .pipeline import edge_weight
 from .semirings import (
     CommonKmers,
@@ -54,6 +73,10 @@ from .exchange import start_exchange
 
 __all__ = ["pastis_rank", "run_pastis_distributed", "store_to_fasta_bytes"]
 
+#: Message tag of the rebalance stage's shipped-task payloads (distinct
+#: from the sequence exchange so in-flight traffic can never cross-match).
+_TAG_REBAL = 77
+
 
 def store_to_fasta_bytes(store: SequenceStore) -> bytes:
     """Serialise a store to FASTA bytes (the distributed pipeline's input)."""
@@ -65,12 +88,17 @@ def store_to_fasta_bytes(store: SequenceStore) -> bytes:
 
 @dataclass
 class RankResult:
-    """Per-rank output: locally produced edges plus stage timings."""
+    """Per-rank output: locally produced edges plus stage timings.
+
+    ``rebalance`` (populated when ``config.align_balance != "off"``)
+    records this rank's pre/post DP-cell load and shipped task counts.
+    """
 
     edges: list[tuple[int, int, float]]
     timings: dict[str, float]
     aligned_pairs: int
     candidate_pairs: int
+    rebalance: dict | None = None
 
 
 def _symmetrize_distributed(
@@ -263,11 +291,17 @@ def pastis_rank(
         b = _symmetrize_distributed(b, grid, n)
         timings["sym."] = time.perf_counter() - t0
     else:
+        # stage parity: the exact-match variant runs no S / AS / sym.
+        # stages, but the dissection schema must be identical across
+        # variants, so the skipped components report an explicit 0.0
+        timings["form S"] = 0.0
+        timings["AS"] = 0.0
         t0 = time.perf_counter()
         if not reference and not _ck_packable(comm, pos):
             _, _, exact_semiring = _overlap_semirings(True)
         b = summa(a, at, exact_semiring)
         timings["(AS)AT"] = time.perf_counter() - t0
+        timings["sym."] = 0.0
 
     # -- 6. finish the exchange --------------------------------------------
     cache = exchange.finish()
@@ -277,11 +311,11 @@ def pastis_rank(
     pairs = _extract_block_pairs(b, grid)
     candidate_pairs = len(pairs)
     if config.common_kmer_threshold is not None:
-        t = config.common_kmer_threshold
-        pairs = [p for p in pairs if p[2].count > t]
+        keep = ck_keep_mask(
+            [p[2].count for p in pairs], config.common_kmer_threshold
+        )
+        pairs = [p for p, ok in zip(pairs, keep) if ok]
 
-    # -- 8. alignment + filter ------------------------------------------------
-    t0 = time.perf_counter()
     tasks = []
     for gi, gj, ck in pairs:
         lo, hi = (gi, gj) if gi < gj else (gj, gi)
@@ -293,10 +327,53 @@ def pastis_rank(
                 a=cache[lo], b=cache[hi], seeds=tuple(seeds), pair=(lo, hi)
             )
         )
-    # one batched call per rank: the whole Fig.-11 local triangle goes to
-    # the lane engine at once; NS weighting skips the traceback entirely
-    results = align_batch(
-        tasks,
+
+    # -- 8. cross-rank alignment rebalancing --------------------------------
+    # Ragged Fig.-11 triangles make the align stage run at the speed of the
+    # unluckiest rank; with align_balance="greedy" every rank costs its
+    # tasks, one allgather shares the cost vectors, all ranks compute the
+    # identical greedy plan, and tasks ship point-to-point as flat encoded
+    # payloads.  Receives are left pending here and progressed with
+    # non-blocking Request.test polls while the local lanes align below.
+    timings["rebal."] = 0.0
+    rebalance = None
+    incoming: dict[int, Request] = {}
+    if config.align_balance == "greedy":
+        t0 = time.perf_counter()
+        costs = estimate_batch_cells(
+            tasks, config.align_mode, config.k, config.xdrop,
+            config.gap_extend,
+        )
+        plan = greedy_plan(comm.allgather(costs))
+        retained: list[AlignmentTask] = []
+        outgoing: dict[int, list[AlignmentTask]] = {}
+        for task, dst in zip(tasks, plan.dest[comm.rank]):
+            if int(dst) == comm.rank:
+                retained.append(task)
+            else:
+                outgoing.setdefault(int(dst), []).append(task)
+        shipped_in = 0
+        for src, dst, ntasks in plan.flows():
+            if src == comm.rank:
+                comm.isend(
+                    encode_tasks(outgoing[dst]), dest=dst, tag=_TAG_REBAL,
+                    kind="rebal",
+                )
+            elif dst == comm.rank:
+                incoming[src] = comm.irecv(src, tag=_TAG_REBAL)
+                shipped_in += ntasks
+        rebalance = {
+            "pre_cells": int(plan.pre_cells[comm.rank]),
+            "post_cells": int(plan.post_cells[comm.rank]),
+            "shipped_out": sum(len(v) for v in outgoing.values()),
+            "shipped_in": shipped_in,
+        }
+        tasks = retained
+        timings["rebal."] = time.perf_counter() - t0
+
+    # -- 9. alignment + filter ------------------------------------------------
+    t0 = time.perf_counter()
+    align_kwargs = dict(
         mode=config.align_mode,
         k=config.k,
         scoring=config.scoring,
@@ -307,8 +384,31 @@ def pastis_rank(
         threads=config.align_threads,
         engine=config.align_engine,
     )
+    # one batched call for the local (retained) Fig.-11 triangle: the whole
+    # batch goes to the lane engine at once; NS skips the traceback entirely
+    aligned = list(zip(tasks, align_batch(tasks, **align_kwargs)))
+    # then progress the shipped-task receives: an eager test() sweep aligns
+    # whatever has already landed, and only once nothing is in flight
+    # locally does the rank block in wait() on the lowest pending source
+    while incoming:
+        progressed = False
+        for src in sorted(incoming):
+            done, payload = incoming[src].test()
+            if done:
+                del incoming[src]
+                shipped = decode_tasks(payload)
+                aligned.extend(
+                    zip(shipped, align_batch(shipped, **align_kwargs))
+                )
+                progressed = True
+        if not progressed and incoming:
+            src = min(incoming)
+            shipped = decode_tasks(incoming.pop(src).wait())
+            aligned.extend(
+                zip(shipped, align_batch(shipped, **align_kwargs))
+            )
     edges: list[tuple[int, int, float]] = []
-    for task, res in zip(tasks, results):
+    for task, res in aligned:
         if config.uses_filter and not passes_filter(
             res, config.min_identity, config.min_coverage
         ):
@@ -321,8 +421,9 @@ def pastis_rank(
     return RankResult(
         edges=edges,
         timings=timings,
-        aligned_pairs=len(tasks),
+        aligned_pairs=len(aligned),
         candidate_pairs=candidate_pairs,
+        rebalance=rebalance,
     )
 
 
@@ -338,8 +439,10 @@ def run_pastis_distributed(
 
     ``nranks`` must be a perfect square (paper requirement).  The graph's
     ``meta`` carries per-rank timing dissections — the data behind the
-    Fig. 15/16-style component plots — and total alignment counts.
-    ``s_triples`` optionally substitutes a precomputed ``S`` matrix.
+    Fig. 15/16-style component plots — total alignment counts, and (when
+    rebalancing ran) the per-rank pre/post DP-cell loads under
+    ``meta["align_balance"]``.  ``s_triples`` optionally substitutes a
+    precomputed ``S`` matrix.
     """
     config = config or PastisConfig()
     fasta = store_to_fasta_bytes(store)
@@ -351,11 +454,19 @@ def run_pastis_distributed(
         edges.extend(r.edges)
     graph = SimilarityGraph.from_edges(len(store), edges,
                                        ids=list(store.ids))
+    balance_meta: dict = {"mode": config.align_balance}
+    if all(r.rebalance is not None for r in results):
+        balance_meta.update(
+            pre_cells=[r.rebalance["pre_cells"] for r in results],
+            post_cells=[r.rebalance["post_cells"] for r in results],
+            shipped_tasks=sum(r.rebalance["shipped_out"] for r in results),
+        )
     graph.meta.update(
         variant=config.variant_name,
         nranks=nranks,
         rank_timings=[r.timings for r in results],
         aligned_pairs=sum(r.aligned_pairs for r in results),
         candidate_pairs=sum(r.candidate_pairs for r in results),
+        align_balance=balance_meta,
     )
     return graph

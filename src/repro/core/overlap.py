@@ -58,6 +58,7 @@ __all__ = [
     "CandidatePairs",
     "build_a_triples",
     "build_s_triples",
+    "ck_keep_mask",
     "find_candidate_pairs",
     "find_candidate_pairs_numeric",
     "find_candidate_pairs_semiring",
@@ -123,6 +124,18 @@ def build_s_triples(
 # ---------------------------------------------------------------------------
 
 
+def ck_keep_mask(counts, t: int) -> np.ndarray:
+    """The CK predicate (Section VI): keep pairs sharing *strictly more*
+    than ``t`` (substitute) k-mers; works on scalars and arrays.
+
+    This is the single definition of the ``>`` semantics — both the
+    single-process :meth:`CandidatePairs.apply_ck_threshold` and the
+    distributed per-block filter route through it, so the boundary
+    behaviour cannot drift between pipelines (a tested invariant).
+    """
+    return np.asarray(counts) > t
+
+
 @dataclass
 class CandidatePairs:
     """Upper-triangle candidate pairs with shared counts and seeds.
@@ -147,7 +160,7 @@ class CandidatePairs:
         """Drop pairs sharing ``t`` or fewer k-mers (the CK variant)."""
         if t is None:
             return self
-        keep = self.counts > t
+        keep = ck_keep_mask(self.counts, t)
         return CandidatePairs(
             self.n, self.ri[keep], self.rj[keep], self.counts[keep],
             self.seed_pos_i[keep], self.seed_pos_j[keep],

@@ -80,6 +80,7 @@ class Request:
     _wait_fn: Callable[[], Any]
     _done: bool = False
     _value: Any = None
+    _test_fn: Callable[[], tuple[bool, Any]] | None = None
 
     def wait(self) -> Any:
         if not self._done:
@@ -88,9 +89,19 @@ class Request:
         return self._value
 
     def test(self) -> tuple[bool, Any]:
-        """Non-destructive completion check (completed requests only)."""
+        """Non-blocking completion check (MPI_Test): a pending receive
+        polls the mailbox under the condition lock and, when a matching
+        message is there, completes by consuming it — it never blocks.
+        Once completed (here or in :meth:`wait`) the value is latched and
+        every later ``test``/``wait`` returns it again."""
         if self._done:
             return True, self._value
+        if self._test_fn is not None:
+            ok, value = self._test_fn()
+            if ok:
+                self._value = value
+                self._done = True
+                return True, value
         return False, None
 
 
@@ -105,21 +116,26 @@ class SimComm:
 
     # -- point-to-point ------------------------------------------------------
 
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Buffered send (never blocks in the simulator)."""
+    def send(self, obj: Any, dest: int, tag: int = 0,
+             kind: str = "p2p") -> None:
+        """Buffered send (never blocks in the simulator).  ``kind`` labels
+        the traffic for the :class:`~repro.mpisim.tracing.CommTracer`
+        (default ``"p2p"``; e.g. the alignment rebalancer tags its shipped
+        tasks ``"rebal"`` so their volume can be read out separately)."""
         be = self._backend
         if not 0 <= dest < be.size:
             raise ValueError(f"bad destination rank {dest}")
         if be.tracer is not None:
-            be.tracer.record(self.rank, dest, payload_bytes(obj), "p2p")
+            be.tracer.record(self.rank, dest, payload_bytes(obj), kind)
         with be.cond:
             be.check_error()
             be.mailboxes[dest].append((self.rank, tag, obj))
             be.cond.notify_all()
 
-    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+    def isend(self, obj: Any, dest: int, tag: int = 0,
+              kind: str = "p2p") -> Request:
         """Non-blocking send; buffered, hence complete on return."""
-        self.send(obj, dest, tag)
+        self.send(obj, dest, tag, kind=kind)
         return Request(lambda: None, _done=True)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
@@ -145,9 +161,26 @@ class SimComm:
                 if not be.cond.wait(timeout=be.timeout):
                     deadline_hit.set()
 
+    def _try_recv(self, source: int, tag: int) -> tuple[bool, Any]:
+        """One non-blocking matching attempt: pop a matching message under
+        the condition lock if one is already queued, else report pending."""
+        be = self._backend
+        box = be.mailboxes[self.rank]
+        with be.cond:
+            be.check_error()
+            for i, (src, t, obj) in enumerate(box):
+                if (source == ANY_SOURCE or src == source) and t == tag:
+                    del box[i]
+                    return True, obj
+        return False, None
+
     def irecv(self, source: int = ANY_SOURCE, tag: int = 0) -> Request:
-        """Non-blocking receive; completion happens inside ``wait``."""
-        return Request(lambda: self.recv(source, tag))
+        """Non-blocking receive; completion happens inside ``wait`` or an
+        eager :meth:`Request.test` poll."""
+        return Request(
+            lambda: self.recv(source, tag),
+            _test_fn=lambda: self._try_recv(source, tag),
+        )
 
     @staticmethod
     def waitall(requests: Sequence[Request]) -> list[Any]:
@@ -314,12 +347,17 @@ def run_spmd(
     per-rank results in rank order.
 
     Any rank raising aborts all ranks and re-raises as :class:`SpmdError`
-    carrying the first failure as ``__cause__``.
+    carrying the first failure as ``__cause__``.  A rank stuck in pure
+    compute never observes ``backend.abort`` (that is only checked inside
+    communication calls), so the driver additionally raises whenever any
+    worker thread failed to terminate or any result slot was never filled
+    — partial results are never returned silently.
     """
     if nranks <= 0:
         raise ValueError("nranks must be positive")
     backend = _Backend(nranks, tracer, timeout)
-    results: list[Any] = [None] * nranks
+    unfilled = object()  # sentinel: fn may legitimately return None
+    results: list[Any] = [unfilled] * nranks
     failures: list[tuple[int, BaseException]] = []
     flock = threading.Lock()
 
@@ -333,7 +371,8 @@ def run_spmd(
             backend.abort(exc)
 
     threads = [
-        threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}")
+        threading.Thread(target=worker, args=(r,), name=f"spmd-rank-{r}",
+                         daemon=True)
         for r in range(nranks)
     ]
     for t in threads:
@@ -343,9 +382,22 @@ def run_spmd(
         if t.is_alive():
             backend.abort(SpmdError("rank thread did not terminate"))
     for t in threads:
-        t.join(timeout=5.0)
+        t.join(timeout=min(5.0, timeout))
+    failures.sort(key=lambda f: f[0])
+    stuck = sorted(
+        int(t.name.rsplit("-", 1)[1]) for t in threads if t.is_alive()
+    )
+    if stuck:
+        # diagnose the stuck rank first: other ranks' timeouts are usually
+        # victims of it, and blaming one of them would hide the root cause
+        exc = SpmdError(
+            f"ranks {stuck} did not terminate within the timeout "
+            f"(stuck outside communication; abort cannot reach them)"
+        )
+        if failures:
+            raise exc from failures[0][1]
+        raise exc
     if failures:
-        failures.sort(key=lambda f: f[0])
         rank, exc = failures[0]
         if isinstance(exc, SpmdError) and len(failures) > 1:
             # prefer the original error over secondary abort noise
@@ -354,4 +406,9 @@ def run_spmd(
                     rank, exc = r, e
                     break
         raise SpmdError(f"rank {rank} failed: {exc!r}") from exc
+    missing = [r for r in range(nranks) if results[r] is unfilled]
+    if missing:
+        raise SpmdError(
+            f"ranks {missing} terminated without producing a result"
+        )
     return results

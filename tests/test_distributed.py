@@ -215,21 +215,30 @@ class TestDistributedKernels:
         assert _edge_list(got) == _edge_list(ref)
 
 
+#: The fixed dissection schema: identical keys on every variant, so
+#: Fig.-15-style consumers can index any component without KeyError.
+TIMING_COMPONENTS = ("fasta", "form A", "tr. A", "form S", "AS", "(AS)AT",
+                     "sym.", "wait", "rebal.", "align")
+
+
 class TestMeta:
     def test_timings_have_paper_components(self, data):
         cfg = PastisConfig(k=4, substitutes=4)
         g = run_pastis_distributed(data.store, cfg, nranks=4)
-        t = g.meta["rank_timings"][0]
-        for key in ("fasta", "form A", "tr. A", "form S", "AS", "(AS)AT",
-                    "sym.", "wait", "align"):
-            assert key in t, key
+        for t in g.meta["rank_timings"]:
+            assert tuple(t.keys()) == TIMING_COMPONENTS
 
-    def test_exact_mode_has_no_s_components(self, data):
+    def test_exact_mode_emits_zero_s_components(self, data):
+        """Regression: the exact-match branch used to omit the form S /
+        AS / sym. components entirely, so the dissection schema differed
+        between variants and consumers KeyError'd on exact runs."""
         cfg = PastisConfig(k=4, substitutes=0)
         g = run_pastis_distributed(data.store, cfg, nranks=4)
-        t = g.meta["rank_timings"][0]
-        assert "form S" not in t
-        assert "sym." not in t
+        for t in g.meta["rank_timings"]:
+            assert tuple(t.keys()) == TIMING_COMPONENTS
+            assert t["form S"] == 0.0
+            assert t["AS"] == 0.0
+            assert t["sym."] == 0.0
 
     def test_alignment_counts_match_candidates(self, data):
         cfg = PastisConfig(k=4, substitutes=0)
@@ -246,3 +255,95 @@ class TestMeta:
         kinds = tracer.bytes_by_kind()
         assert "alltoall" in kinds  # matrix distribution
         assert "p2p" in kinds       # sequence exchange + transpose
+
+
+class TestCkThresholdParity:
+    """Regression for the duplicated CK predicate: both pipelines now
+    route through one shared ``ck_keep_mask`` helper, and the strict-``>``
+    boundary must agree between them exactly."""
+
+    def _counts(self, store, cfg):
+        from repro.core.overlap import find_candidate_pairs
+
+        return sorted(
+            find_candidate_pairs(store, cfg).counts.tolist()
+        )
+
+    @pytest.mark.parametrize("offset", [-1, 0])
+    def test_boundary_value_parity(self, data, offset):
+        """Set the threshold exactly at (and one below) an occurring
+        count: pairs sharing exactly ``t`` k-mers must drop in *both*
+        pipelines, pairs at ``t + 1`` must survive in both."""
+        from dataclasses import replace
+
+        base = PastisConfig(k=4, substitutes=0)
+        counts = self._counts(data.store, base)
+        t = counts[len(counts) // 2] + offset  # an occurring count / one below
+        cfg = replace(base, common_kmer_threshold=t)
+        ref = pastis_pipeline(data.store, cfg)
+        got = run_pastis_distributed(data.store, cfg, nranks=4)
+        assert got.edge_set() == ref.edge_set()
+        expected = sum(1 for c in counts if c > t)
+        assert ref.meta["aligned_pairs"] == expected
+        assert got.meta["aligned_pairs"] == expected
+
+    def test_mask_semantics(self):
+        from repro.core.overlap import ck_keep_mask
+
+        counts = np.array([0, 1, 2, 3])
+        assert ck_keep_mask(counts, 1).tolist() == [
+            False, False, True, True
+        ]
+        assert bool(ck_keep_mask(2, 2)) is False  # boundary: == t drops
+
+
+class TestAlignRebalancing:
+    """The align_balance="greedy" stage: byte-identical output, stable
+    meta/timing schema, and shipped-task traffic visible to the tracer."""
+
+    @pytest.mark.parametrize("p", [1, 4, 9])
+    @pytest.mark.parametrize("subs", [0, 4])
+    def test_rebalanced_equals_off(self, data, p, subs):
+        from dataclasses import replace
+
+        cfg = PastisConfig(k=4, substitutes=subs)
+        ref = run_pastis_distributed(data.store, cfg, nranks=p)
+        got = run_pastis_distributed(
+            data.store, replace(cfg, align_balance="greedy"), nranks=p
+        )
+        assert _edge_list(got) == _edge_list(ref)
+        assert got.meta["aligned_pairs"] == ref.meta["aligned_pairs"]
+        assert got.meta["candidate_pairs"] == ref.meta["candidate_pairs"]
+
+    def test_rebalance_meta_and_timing(self, data):
+        cfg = PastisConfig(k=4, substitutes=0, align_balance="greedy")
+        g = run_pastis_distributed(data.store, cfg, nranks=4)
+        bal = g.meta["align_balance"]
+        assert bal["mode"] == "greedy"
+        assert len(bal["pre_cells"]) == 4
+        assert len(bal["post_cells"]) == 4
+        # rebalancing conserves work, it only moves it
+        assert sum(bal["pre_cells"]) == sum(bal["post_cells"])
+        assert max(bal["post_cells"]) <= max(bal["pre_cells"])
+        for t in g.meta["rank_timings"]:
+            assert t["rebal."] >= 0.0
+
+    def test_off_mode_meta(self, data):
+        cfg = PastisConfig(k=4, substitutes=0)
+        g = run_pastis_distributed(data.store, cfg, nranks=4)
+        assert g.meta["align_balance"] == {"mode": "off"}
+        for t in g.meta["rank_timings"]:
+            assert t["rebal."] == 0.0
+
+    def test_shipped_bytes_traced(self, data):
+        cfg = PastisConfig(k=4, substitutes=0, align_balance="greedy")
+        tracer = CommTracer()
+        g = run_pastis_distributed(
+            data.store, cfg, nranks=4, tracer=tracer
+        )
+        kinds = tracer.bytes_by_kind()
+        if g.meta["align_balance"]["shipped_tasks"] > 0:
+            assert kinds.get("rebal", 0) > 0
+            assert tracer.messages_by_kind()["rebal"] > 0
+        else:  # pragma: no cover - dataset always skews in practice
+            assert "rebal" not in kinds

@@ -59,12 +59,21 @@ def test_golden_oblivious(data, config):
         assert got == golden, f"kernel {kernel!r} diverged from golden"
 
     # process obliviousness: the distributed pipeline (whose AS stage runs
-    # on the numeric path) serialises identically on every grid
+    # on the numeric path) serialises identically on every grid — with the
+    # cross-rank alignment rebalancer both off and on (rebalancing moves
+    # alignment work between ranks, never changes it)
     for nranks in (1, 4, 9):
-        got = edge_bytes(
-            run_pastis_distributed(data.store, config, nranks=nranks)
-        )
-        assert got == golden, f"{nranks} ranks diverged from golden"
+        for balance in ("off", "greedy"):
+            got = edge_bytes(
+                run_pastis_distributed(
+                    data.store, replace(config, align_balance=balance),
+                    nranks=nranks,
+                )
+            )
+            assert got == golden, (
+                f"{nranks} ranks (align_balance={balance!r}) diverged "
+                f"from golden"
+            )
 
 
 def test_more_ranks_than_sequences():

@@ -76,6 +76,129 @@ class TestPointToPoint:
             run_spmd(2, lambda comm: comm.send(1, dest=5))
 
 
+class TestRequestTest:
+    """Regression: ``Request.test()`` used to return ``(False, None)``
+    unconditionally for any pending request; it now performs a real
+    non-blocking completion check (polling the mailbox under the
+    condition lock), which the alignment rebalance stage depends on."""
+
+    def test_pending_then_completed(self):
+        def fn(comm):
+            if comm.rank == 1:
+                req = comm.irecv(source=0, tag=7)
+                before = req.test()          # nothing sent yet
+                comm.send("go", dest=0)      # unblock the sender
+                comm.recv(source=0, tag=8)   # message 7 is now queued too
+                mid = req.test()             # completes without blocking
+                after = req.test()           # latched
+                return before, mid, after, req.wait()
+            comm.recv(source=1)
+            comm.send("payload", dest=1, tag=7)
+            comm.send("fence", dest=1, tag=8)
+            return None
+
+        before, mid, after, waited = run_spmd(2, fn)[1]
+        assert before == (False, None)
+        assert mid == (True, "payload")
+        assert after == (True, "payload")
+        assert waited == "payload"
+
+    def test_test_consumes_matching_message_once(self):
+        def fn(comm):
+            if comm.rank == 1:
+                comm.recv(source=0, tag=9)  # fence: both sends delivered
+                r1 = comm.irecv(source=0, tag=3)
+                r2 = comm.irecv(source=0, tag=3)
+                ok1, v1 = r1.test()
+                ok2, v2 = r2.test()
+                return ok1, v1, ok2, v2
+            comm.send("first", dest=1, tag=3)
+            comm.send("second", dest=1, tag=3)
+            comm.send(None, dest=1, tag=9)
+            return None
+
+        ok1, v1, ok2, v2 = run_spmd(2, fn)[1]
+        # FIFO per channel: each test() pops exactly one matching message
+        assert (ok1, v1) == (True, "first")
+        assert (ok2, v2) == (True, "second")
+
+    def test_test_respects_source_and_tag(self):
+        def fn(comm):
+            if comm.rank == 2:
+                comm.recv(source=0, tag=9)  # fence
+                wrong = comm.irecv(source=1, tag=5).test()
+                right = comm.irecv(source=0, tag=5).test()
+                return wrong, right
+            if comm.rank == 0:
+                comm.send("hit", dest=2, tag=5)
+                comm.send(None, dest=2, tag=9)
+            return None
+
+        wrong, right = run_spmd(3, fn)[2]
+        assert wrong == (False, None)
+        assert right == (True, "hit")
+
+    def test_isend_request_is_complete(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend(1, dest=1)
+                return req.test()
+            return comm.recv(source=0)
+
+        assert run_spmd(2, fn)[0] == (True, None)
+
+
+class TestRunSpmdFailureModes:
+    """Regression: a rank stuck in pure compute never observes
+    ``backend.abort`` (only communication calls check the error), so the
+    driver used to return a results list containing ``None`` silently."""
+
+    def test_stuck_compute_rank_raises(self):
+        import threading
+        import time
+
+        release = threading.Event()
+
+        def body(comm):
+            if comm.rank == 1:
+                while not release.is_set():  # pure compute, no comm calls
+                    time.sleep(0.005)
+            return comm.rank
+
+        try:
+            with pytest.raises(SpmdError, match="did not terminate"):
+                run_spmd(2, body, timeout=0.2)
+        finally:
+            release.set()  # let the leaked thread exit promptly
+
+    def test_stuck_rank_named_over_victim_timeout(self):
+        """The stuck rank must be diagnosed even when another rank
+        recorded a timeout failure first — that rank is a victim of the
+        stuck one, and blaming it would hide the root cause."""
+        import threading
+        import time
+
+        release = threading.Event()
+
+        def body(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1)  # victim: times out waiting
+            while not release.is_set():     # the actual culprit
+                time.sleep(0.005)
+            return None
+
+        try:
+            with pytest.raises(SpmdError,
+                               match=r"ranks \[1\] did not terminate"):
+                run_spmd(2, body, timeout=0.1)
+        finally:
+            release.set()
+
+    def test_none_result_is_legitimate(self):
+        # fn returning None must not be mistaken for an unfilled slot
+        assert run_spmd(2, lambda comm: None) == [None, None]
+
+
 class TestCollectives:
     def test_barrier(self):
         assert run_spmd(4, lambda comm: comm.barrier()) == [None] * 4
