@@ -1,17 +1,27 @@
 """Benchmark for the cross-rank alignment rebalancing stage.
 
-Not a paper figure — this quantifies the PR that levels the Fig.-11
-triangles across ranks.  The skewed-triangle scenario puts one dense
-protein family entirely inside the first global-id block, so on a 4-rank
-(2x2) grid every family pair lands on rank 0's triangle while the other
-ranks sit nearly idle; ``align_balance="greedy"`` must spread that load.
+Not a paper figure — this quantifies the PRs that level the Fig.-11
+triangles across ranks.  Two scenario families:
+
+* **Skewed triangle** (static planning): one dense protein family sits
+  entirely inside the first global-id block, so on a 4-rank (2x2) grid
+  every family pair lands on rank 0's triangle; ``align_balance="greedy"``
+  must spread that load.  Gated on the deterministic max-rank DP-cell
+  reduction (>= 2x), with a byte-identical edge list for both ``greedy``
+  and ``steal``.
+* **Mis-estimated straggler** (dynamic stealing): cost vectors are
+  perfectly balanced, but one rank secretly runs several times slower
+  than the cost model's estimate — the case no static plan can fix.
+  ``steal`` must beat the static plan's max-rank wall clock by >= 1.5x
+  (gated); the workload is sleep-driven, so the wall-clock gate is
+  robust to runner speed.
 
 Reported per scenario: per-rank DP-cell loads before/after the plan, the
-max/mean cell ratio (the imbalance metric — 1.0 is perfect), measured
-per-rank align-stage seconds for ``off`` vs ``greedy``, and the shipped
-task count.  The pytest gate asserts the acceptance criterion: the
-max-rank alignment cell count drops by >= 2x on the 4-rank grid, with a
-byte-identical edge list.
+max/mean cell ratio (the imbalance metric — 1.0 is perfect), per-rank
+align-stage seconds for every mode, stolen/shipped task counts, and the
+**measured** (not estimated) per-rank cell throughput — the reproducible
+inputs of the calibration fit
+(:func:`repro.perfmodel.calibrate.calibrate_alignment_model`).
 
 Run with ``pytest benchmarks/bench_align_balance.py -s`` to see the table,
 or directly as a script::
@@ -24,15 +34,27 @@ tracking; ``--smoke`` shrinks the workload for fast smoke runs.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro.align.batch import AlignmentTask
 from repro.bio.fasta import FastaRecord
 from repro.bio.generate import make_family, random_protein
 from repro.bio.sequences import SequenceStore
+from repro.core.balance import steal_align
 from repro.core.config import PastisConfig
 from repro.core.distributed import run_pastis_distributed
+from repro.mpisim.comm import run_spmd
 
 NRANKS = 4
+
+#: straggler scenario: the slow rank's real throughput as a fraction of
+#: what the cost model estimates (0.2 = five times slower)
+SLOWDOWN = 0.2
+#: acceptance gate — dynamic stealing must beat the static plan's
+#: max-rank wall clock by this factor on the straggler scenario
+STEAL_GATE = 1.5
 
 
 def skewed_store(n_family: int = 20, n_single: int = 20,
@@ -49,7 +71,7 @@ def skewed_store(n_family: int = 20, n_single: int = 20,
 
 
 def run_scenario(store: SequenceStore, config: PastisConfig):
-    """Run off and greedy; return (imbalance stats dict, edge parity)."""
+    """Run off, greedy, and steal; return (stats dict, edge parity)."""
     from dataclasses import replace
 
     off = run_pastis_distributed(
@@ -57,6 +79,9 @@ def run_scenario(store: SequenceStore, config: PastisConfig):
     )
     bal = run_pastis_distributed(
         store, replace(config, align_balance="greedy"), nranks=NRANKS
+    )
+    stl = run_pastis_distributed(
+        store, replace(config, align_balance="steal"), nranks=NRANKS
     )
     meta = bal.meta["align_balance"]
     pre = np.array(meta["pre_cells"], dtype=np.int64)
@@ -79,13 +104,113 @@ def run_scenario(store: SequenceStore, config: PastisConfig):
         "imbalance_post": round(ratio(post), 2),
         "align_s_off": [round(t, 4) for t in align_secs(off)],
         "align_s_greedy": [round(t, 4) for t in align_secs(bal)],
+        "align_s_steal": [round(t, 4) for t in align_secs(stl)],
         "shipped_tasks": meta["shipped_tasks"],
+        "stolen_tasks": stl.meta["align_balance"]["stolen_tasks"],
+        # measured (not estimated) per-rank throughput: the numbers a
+        # calibration fit can be reproduced from
+        "measured_cells_per_sec_greedy": [
+            round(r, 1) for r in meta["measured_cells_per_sec"]
+        ],
+        "measured_cells_per_sec_steal": [
+            round(r, 1)
+            for r in stl.meta["align_balance"]["measured_cells_per_sec"]
+        ],
+        "calibration": stl.meta["align_balance"]["calibration"],
     }
-    same_edges = (
-        off.edge_set() == bal.edge_set()
-        and np.array_equal(off.weights, bal.weights)
+    same_edges = all(
+        off.edge_set() == g.edge_set()
+        and np.array_equal(off.weights, g.weights)
+        for g in (bal, stl)
     )
     return stats, same_edges
+
+
+# ---------------------------------------------------------------------------
+# the mis-estimated straggler scenario (dynamic stealing's raison d'etre)
+# ---------------------------------------------------------------------------
+
+
+def _straggler_body(comm, ntasks, side, rate, factor, nchunks):
+    """SPMD body: perfectly balanced cost vectors, one secretly slow rank.
+
+    The fake engine sleeps ``cells / (rate * speed)`` — rank 0 delivers
+    ``SLOWDOWN`` of the throughput the cost model promises, exactly the
+    mis-estimation (slow node, corridors dying early elsewhere) a static
+    cell plan cannot see."""
+    speed = SLOWDOWN if comm.rank == 0 else 1.0
+    tasks = [
+        AlignmentTask(
+            a=np.zeros(side, dtype=np.int8),
+            b=np.zeros(side, dtype=np.int8),
+            seeds=((0, 0),),
+            pair=(comm.rank, i),
+        )
+        for i in range(ntasks)
+    ]
+
+    def cost_fn(ts):
+        return [len(t.a) * len(t.b) for t in ts]
+
+    def align_fn(ts):
+        time.sleep(sum(cost_fn(ts)) / (rate * speed))
+        return [None] * len(ts)
+
+    t0 = time.perf_counter()
+    aligned, stats = steal_align(
+        comm, tasks, cost_fn(tasks),
+        align_fn=align_fn, cost_fn=cost_fn,
+        initial_remaining=[float(ntasks * side * side)] * comm.size,
+        rate0=rate, factor=factor, nchunks=nchunks,
+    )
+    wall = time.perf_counter() - t0
+    return wall, len(aligned), stats
+
+
+def run_straggler(smoke: bool = False):
+    """Static plan vs dynamic stealing under a mis-estimated straggler.
+
+    Both runs use the same chunked executor; the static baseline simply
+    never steals (``factor=inf``), so the comparison isolates the dynamic
+    re-planning.  Returns the stats dict and the list of failed gates.
+    """
+    ntasks = 12 if smoke else 20
+    side = 50
+    rate = 4e5 if smoke else 2e5  # nominal cells/sec of the fake engine
+    out = {}
+    for name, factor in (("static", float("inf")), ("steal", 1.3)):
+        res = run_spmd(
+            NRANKS, _straggler_body, ntasks, side, rate, factor, 8
+        )
+        walls = [w for w, _, _ in res]
+        out[name] = {
+            "walls_s": [round(w, 4) for w in walls],
+            "max_wall_s": round(max(walls), 4),
+            "aligned_tasks": [n for _, n, _ in res],
+            "stolen_tasks": sum(s["stolen_out"] for _, _, s in res),
+            "measured_cells_per_sec": [
+                round(s["measured_cells_per_sec"], 1) for _, _, s in res
+            ],
+        }
+        assert sum(out[name]["aligned_tasks"]) == NRANKS * ntasks
+    speedup = out["static"]["max_wall_s"] / max(
+        out["steal"]["max_wall_s"], 1e-9
+    )
+    stats = {
+        "slowdown": SLOWDOWN,
+        "static": out["static"],
+        "steal": out["steal"],
+        "max_wall_speedup": round(speedup, 2),
+    }
+    failed = []
+    if speedup < STEAL_GATE:
+        failed.append(
+            f"straggler: steal only {speedup:.2f}x faster than the "
+            f"static plan (< {STEAL_GATE}x)"
+        )
+    if out["steal"]["stolen_tasks"] == 0:
+        failed.append("straggler: no tasks were stolen")
+    return stats, failed
 
 
 def _report(name: str, s: dict) -> None:
@@ -95,15 +220,32 @@ def _report(name: str, s: dict) -> None:
         print(f"rank {r:<5}{s['pre_cells'][r]:>14}{s['post_cells'][r]:>14}")
     print(f"max/mean imbalance: {s['imbalance_pre']:.2f} -> "
           f"{s['imbalance_post']:.2f}; max-rank cells reduced "
-          f"{s['max_reduction']:.1f}x; {s['shipped_tasks']} tasks shipped")
+          f"{s['max_reduction']:.1f}x; {s['shipped_tasks']} tasks shipped, "
+          f"{s['stolen_tasks']} stolen")
     print(f"align seconds off:    {s['align_s_off']}")
     print(f"align seconds greedy: {s['align_s_greedy']}")
+    print(f"align seconds steal:  {s['align_s_steal']}")
+    print(f"measured cells/s (greedy): "
+          f"{s['measured_cells_per_sec_greedy']}")
+
+
+def _report_straggler(s: dict) -> None:
+    print(f"\n=== mis-estimated straggler — rank 0 at "
+          f"{SLOWDOWN:.0%} speed ({NRANKS} ranks) ===")
+    print(f"static plan walls: {s['static']['walls_s']} "
+          f"(max {s['static']['max_wall_s']}s)")
+    print(f"steal walls:       {s['steal']['walls_s']} "
+          f"(max {s['steal']['max_wall_s']}s, "
+          f"{s['steal']['stolen_tasks']} tasks stolen)")
+    print(f"measured cells/s:  {s['steal']['measured_cells_per_sec']}")
+    print(f"max-rank wall clock speedup: {s['max_wall_speedup']:.2f}x "
+          f"(gate >= {STEAL_GATE}x)")
 
 
 class TestRebalanceImbalance:
     def test_skewed_triangle_gate(self):
         """Acceptance: >= 2x max-rank cell reduction on the 4-rank grid,
-        with a byte-identical graph."""
+        with a byte-identical graph in every balance mode."""
         store = skewed_store()
         stats, same_edges = run_scenario(store, PastisConfig())
         _report("skewed family, xd", stats)
@@ -112,6 +254,15 @@ class TestRebalanceImbalance:
             f"max-rank cells only reduced {stats['max_reduction']:.1f}x"
         )
         assert stats["shipped_tasks"] > 0
+
+
+class TestStragglerSteal:
+    def test_steal_beats_static_plan_gate(self):
+        """Acceptance: on the mis-estimated straggler scenario, dynamic
+        stealing beats the static plan's max-rank wall clock >= 1.5x."""
+        stats, failed = run_straggler(smoke=True)
+        _report_straggler(stats)
+        assert not failed, "; ".join(failed)
 
 
 # ---------------------------------------------------------------------------
@@ -158,6 +309,10 @@ def main(argv=None) -> int:
                 f"{name}: max-rank cells only reduced "
                 f"{stats['max_reduction']:.1f}x (< 2x)"
             )
+    straggler, straggler_failed = run_straggler(args.smoke)
+    _report_straggler(straggler)
+    results["straggler"] = straggler
+    failed.extend(straggler_failed)
     payload = {
         "smoke": args.smoke,
         "nranks": NRANKS,

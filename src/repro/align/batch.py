@@ -107,9 +107,14 @@ def align_batch(
 
     ``engine`` selects the batched inter-pair wavefront engine
     (``"batched"``, the default) or the per-pair Python reference
-    (``"python"``); ``threads`` only applies to the reference path — the
-    batched engine vectorizes across the batch instead, so passing both
-    warns and the thread count is ignored.
+    (``"python"``); both produce byte-identical results (a tested
+    invariant — see ``docs/knobs.md``).  ``threads`` only applies to the
+    reference path — the batched engine vectorizes across the batch
+    instead, so passing both warns and the thread count is ignored.
+
+    ``traceback=False`` (the NS fast path) returns score-only results
+    whose explicit empty span :func:`repro.align.stats.passes_filter`
+    refuses to judge.
     """
     if engine not in ("batched", "python"):
         raise ValueError("engine must be 'batched' or 'python'")

@@ -8,7 +8,15 @@ Usage::
 
     python -m repro input.fasta -o edges.tsv [--k 6] [--substitutes 25]
         [--align xd|sw] [--weight ani|ns] [--ck N] [--ranks 4]
+        [--kernel join|numeric|struct|semiring]
+        [--align-engine batched|python]
+        [--align-balance off|greedy|steal] [--steal-factor 1.5]
         [--cluster families.tsv]
+
+Every flag maps onto one :class:`~repro.core.config.PastisConfig` field
+(see :func:`config_from_args`); the three implementation knobs (``kernel``,
+``align-engine``, ``align-balance``) never change the output graph — a
+tested byte-identity contract documented in ``docs/knobs.md``.
 """
 
 from __future__ import annotations
@@ -19,15 +27,28 @@ import time
 
 from .bio.fasta import read_fasta
 from .bio.sequences import SequenceStore
-from .core.config import PastisConfig
+from .core.config import (
+    ALIGN_BALANCE_MODES,
+    ALIGN_ENGINES,
+    ALIGN_MODES,
+    KERNELS,
+    WEIGHTS,
+    PastisConfig,
+)
 from .core.distributed import run_pastis_distributed
 from .core.graph import SimilarityGraph
 from .core.pipeline import pastis_pipeline
 
-__all__ = ["main", "build_parser", "write_edges_tsv"]
+__all__ = ["main", "build_parser", "config_from_args", "write_edges_tsv"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The CLI surface; one flag per :class:`PastisConfig` knob.
+
+    Choice-valued flags take their ``choices`` directly from the tuples in
+    :mod:`repro.core.config`, so the parser can never drift from what the
+    config validates (``tests/test_cli.py`` locks this in).
+    """
     p = argparse.ArgumentParser(
         prog="repro-pastis",
         description="PASTIS reproduction: build a protein similarity "
@@ -39,9 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=6, help="k-mer length")
     p.add_argument("--substitutes", "-s", type=int, default=0,
                    help="substitute k-mers per k-mer (0 = exact)")
-    p.add_argument("--align", choices=("xd", "sw"), default="xd",
+    p.add_argument("--align", choices=ALIGN_MODES, default="xd",
                    help="alignment mode: x-drop or Smith-Waterman")
-    p.add_argument("--weight", choices=("ani", "ns"), default="ani",
+    p.add_argument("--weight", choices=WEIGHTS, default="ani",
                    help="edge weight: identity (with 30/70 filter) or "
                    "normalized score (no filter)")
     p.add_argument("--ck", type=int, default=None,
@@ -57,27 +78,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="alignment threads per process (only applies to "
                    "--align-engine python; the batched engine vectorizes "
                    "across the batch instead)")
-    p.add_argument("--kernel",
-                   choices=("join", "numeric", "struct", "semiring"),
-                   default="join",
+    p.add_argument("--kernel", choices=KERNELS, default="join",
                    help="overlap kernel: NumPy join (default), numeric "
                    "SpGEMM fast path, struct expand-reduce (CommonKmers "
                    "as record columns — what distributed SUMMA runs), or "
                    "the generic semiring reference; with --ranks > 1 "
                    "every kernel except 'semiring' selects the SUMMA "
                    "struct path")
-    p.add_argument("--align-engine", choices=("batched", "python"),
+    p.add_argument("--align-engine", choices=ALIGN_ENGINES,
                    default="batched",
                    help="alignment engine: inter-pair batched wavefront "
                    "(default; the paper's SeqAn-style batching) or the "
                    "per-pair Python reference — byte-identical results")
-    p.add_argument("--align-balance", choices=("off", "greedy"),
+    p.add_argument("--align-balance", choices=ALIGN_BALANCE_MODES,
                    default="off",
                    help="cross-rank alignment rebalancing (--ranks > 1): "
                    "'greedy' costs each rank's candidate pairs in DP "
                    "cells and ships tasks along one deterministic "
-                   "bin-pack plan so no rank waits on the unluckiest "
-                   "Fig.-11 triangle — byte-identical results")
+                   "bin-pack plan; 'steal' additionally re-plans "
+                   "mid-stage from measured progress, stealing a "
+                   "projected straggler's largest pending tasks for the "
+                   "idle-soonest rank — byte-identical results either way")
+    p.add_argument("--steal-factor", type=float, default=1.5,
+                   help="stealing trigger (--align-balance steal): shed "
+                   "work when a rank's projected finish exceeds the "
+                   "fleet median by this factor (>= 1)")
+    p.add_argument("--steal-chunks", type=int, default=8,
+                   help="poll cadence of the stealing scheduler: chunks "
+                   "per rank between progress exchanges")
     p.add_argument("--cluster", metavar="TSV", default=None,
                    help="also run Markov Clustering and write "
                    "(id, cluster) rows to this file")
@@ -85,6 +113,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="MCL inflation (granularity)")
     p.add_argument("--quiet", action="store_true")
     return p
+
+
+def config_from_args(args: argparse.Namespace) -> PastisConfig:
+    """Build the immutable run configuration from parsed CLI arguments.
+
+    The single authoritative flag-to-field mapping — ``main`` uses it, and
+    the CLI round-trip tests exercise it for every knob choice.
+    """
+    return PastisConfig(
+        k=args.k,
+        substitutes=args.substitutes,
+        align_mode=args.align,
+        weight=args.weight,
+        common_kmer_threshold=args.ck,
+        xdrop=args.xdrop,
+        min_identity=args.min_identity,
+        min_coverage=args.min_coverage,
+        align_threads=args.threads,
+        kernel=args.kernel,
+        align_engine=args.align_engine,
+        align_balance=args.align_balance,
+        steal_factor=args.steal_factor,
+        steal_chunks=args.steal_chunks,
+    )
 
 
 def write_edges_tsv(path: str, graph: SimilarityGraph) -> int:
@@ -98,21 +150,9 @@ def write_edges_tsv(path: str, graph: SimilarityGraph) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    config = PastisConfig(
-        k=args.k,
-        substitutes=args.substitutes,
-        align_mode=args.align,
-        weight=args.weight,
-        common_kmer_threshold=args.ck,
-        xdrop=args.xdrop,
-        min_identity=args.min_identity,
-        min_coverage=args.min_coverage,
-        align_threads=args.threads,
-        kernel=args.kernel,
-        align_engine=args.align_engine,
-        align_balance=args.align_balance,
-    )
+    config = config_from_args(args)
 
     t0 = time.perf_counter()
     records = read_fasta(args.fasta)

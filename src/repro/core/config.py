@@ -12,7 +12,22 @@ from dataclasses import dataclass, field
 
 from ..bio.scoring import BLOSUM62, ScoringMatrix
 
-__all__ = ["PastisConfig"]
+__all__ = [
+    "ALIGN_BALANCE_MODES",
+    "ALIGN_ENGINES",
+    "ALIGN_MODES",
+    "KERNELS",
+    "WEIGHTS",
+    "PastisConfig",
+]
+
+#: valid values of the choice-valued knobs — the CLI builds its ``choices``
+#: from these and the CLI surface test round-trips every one of them
+ALIGN_MODES = ("xd", "sw")
+WEIGHTS = ("ani", "ns")
+KERNELS = ("join", "numeric", "struct", "semiring")
+ALIGN_ENGINES = ("batched", "python")
+ALIGN_BALANCE_MODES = ("off", "greedy", "steal")
 
 
 @dataclass(frozen=True)
@@ -55,12 +70,32 @@ class PastisConfig:
         invariant, same contract as ``kernel``).
     align_balance:
         Cross-rank alignment rebalancing (distributed pipeline only):
-        ``"off"`` (the default) aligns each rank's Fig.-11 triangle where
-        it was extracted; ``"greedy"`` costs every task in DP cells,
-        computes one identical greedy bin-pack plan on all ranks
-        (:mod:`repro.core.balance`), and ships tasks so no rank waits on
-        the unluckiest triangle.  The graph is byte-identical either way
-        (a tested invariant — rebalancing moves work, never changes it).
+
+        * ``"off"`` (the default) aligns each rank's Fig.-11 triangle
+          where it was extracted;
+        * ``"greedy"`` costs every task in DP cells, computes one
+          identical greedy bin-pack plan on all ranks
+          (:mod:`repro.core.balance`), and ships tasks so no rank waits
+          on the unluckiest triangle;
+        * ``"steal"`` starts from the same static plan, then re-plans
+          mid-stage: ranks align in cost-sorted chunks, exchange measured
+          progress, and a projected straggler's largest pending tasks are
+          stolen by the idle-soonest rank — robust to cost-model
+          mis-estimates (a slow node, corridors dying early).  The
+          cells/sec seed comes from a calibrated cost model
+          (:func:`repro.perfmodel.calibrate.calibrate_alignment_model`),
+          persisted under ``graph.meta["align_balance"]["calibration"]``.
+
+        The graph is byte-identical in every mode (a tested invariant —
+        rebalancing moves work, never changes it).
+    steal_factor:
+        Stealing trigger (``align_balance="steal"`` only): a rank sheds
+        work when its projected finish time exceeds the fleet median by
+        this factor.  Must be >= 1; larger values steal later.
+    steal_chunks:
+        Poll cadence of the stealing scheduler: each rank splits its
+        statically planned load into this many cost-sorted chunks and
+        re-evaluates progress/stealing between chunks.
     """
 
     k: int = 6
@@ -79,19 +114,23 @@ class PastisConfig:
     kernel: str = "join"
     align_engine: str = "batched"
     align_balance: str = "off"
+    steal_factor: float = 1.5
+    steal_chunks: int = 8
 
     def __post_init__(self) -> None:
-        if self.align_mode not in ("xd", "sw"):
+        if self.align_mode not in ALIGN_MODES:
             raise ValueError("align_mode must be 'xd' or 'sw'")
-        if self.kernel not in ("join", "numeric", "struct", "semiring"):
+        if self.kernel not in KERNELS:
             raise ValueError(
                 "kernel must be 'join', 'numeric', 'struct', or 'semiring'"
             )
-        if self.align_engine not in ("batched", "python"):
+        if self.align_engine not in ALIGN_ENGINES:
             raise ValueError("align_engine must be 'batched' or 'python'")
-        if self.align_balance not in ("off", "greedy"):
-            raise ValueError("align_balance must be 'off' or 'greedy'")
-        if self.weight not in ("ani", "ns"):
+        if self.align_balance not in ALIGN_BALANCE_MODES:
+            raise ValueError(
+                "align_balance must be 'off', 'greedy', or 'steal'"
+            )
+        if self.weight not in WEIGHTS:
             raise ValueError("weight must be 'ani' or 'ns'")
         if self.k < 1:
             raise ValueError("k must be positive")
@@ -101,6 +140,10 @@ class PastisConfig:
             self.common_kmer_threshold < 0
         ):
             raise ValueError("common_kmer_threshold must be non-negative")
+        if self.steal_factor < 1.0:
+            raise ValueError("steal_factor must be >= 1.0")
+        if self.steal_chunks < 1:
+            raise ValueError("steal_chunks must be positive")
 
     @property
     def uses_filter(self) -> bool:

@@ -18,7 +18,12 @@ Every stage of Fig. 1 executed SPMD over the simulated MPI runtime:
    (:mod:`repro.core.balance`) and tasks ship point-to-point; shipped-task
    receives are progressed with non-blocking ``Request.test`` polls while
    the local lanes align;
-9. local alignments and the similarity filter; edges stay where they are
+9. local alignments and the similarity filter; with
+   ``align_balance="steal"`` the stage additionally re-plans mid-flight:
+   ranks align in cost-sorted chunks, exchange measured progress, and a
+   projected straggler's largest pending tasks are stolen by the
+   idle-soonest rank (:func:`repro.core.balance.steal_align`), seeded by
+   a calibrated cells/sec cost model.  Edges stay where they are
    computed and are gathered on rank 0.
 
 Per-stage wall times are recorded with the same component names as the
@@ -49,6 +54,7 @@ from .balance import (
     encode_tasks,
     estimate_batch_cells,
     greedy_plan,
+    steal_align,
 )
 from .config import PastisConfig
 from .graph import SimilarityGraph
@@ -91,7 +97,10 @@ class RankResult:
     """Per-rank output: locally produced edges plus stage timings.
 
     ``rebalance`` (populated when ``config.align_balance != "off"``)
-    records this rank's pre/post DP-cell load and shipped task counts.
+    records this rank's pre/post DP-cell load, shipped task counts, and
+    the measured align throughput (``aligned_cells`` / ``align_seconds``);
+    the ``steal`` mode adds stolen in/out counts, the chunk count, and the
+    calibrated cost-model coefficients.
     """
 
     edges: list[tuple[int, int, float]]
@@ -330,26 +339,37 @@ def pastis_rank(
 
     # -- 8. cross-rank alignment rebalancing --------------------------------
     # Ragged Fig.-11 triangles make the align stage run at the speed of the
-    # unluckiest rank; with align_balance="greedy" every rank costs its
-    # tasks, one allgather shares the cost vectors, all ranks compute the
-    # identical greedy plan, and tasks ship point-to-point as flat encoded
-    # payloads.  Receives are left pending here and progressed with
-    # non-blocking Request.test polls while the local lanes align below.
+    # unluckiest rank; with align_balance="greedy" or "steal" every rank
+    # costs its tasks, one allgather shares the cost vectors, all ranks
+    # compute the identical greedy plan, and tasks ship point-to-point as
+    # flat encoded payloads.  Receives are left pending here and progressed
+    # with non-blocking Request.test polls while the local lanes align
+    # below.  "steal" additionally fits a calibrated cells/sec model (rank
+    # 0 measures real engine runs once, then broadcasts) that seeds every
+    # rank's projected finish time for the dynamic stage.
     timings["rebal."] = 0.0
     rebalance = None
     incoming: dict[int, Request] = {}
-    if config.align_balance == "greedy":
-        t0 = time.perf_counter()
-        costs = estimate_batch_cells(
-            tasks, config.align_mode, config.k, config.xdrop,
+    plan = None
+    model = None
+    retained_costs: list[int] = []
+
+    def cost_fn(ts: list[AlignmentTask]) -> list[int]:
+        return estimate_batch_cells(
+            ts, config.align_mode, config.k, config.xdrop,
             config.gap_extend,
         )
+
+    if config.align_balance in ("greedy", "steal"):
+        t0 = time.perf_counter()
+        costs = cost_fn(tasks)
         plan = greedy_plan(comm.allgather(costs))
         retained: list[AlignmentTask] = []
         outgoing: dict[int, list[AlignmentTask]] = {}
-        for task, dst in zip(tasks, plan.dest[comm.rank]):
+        for task, cost, dst in zip(tasks, costs, plan.dest[comm.rank]):
             if int(dst) == comm.rank:
                 retained.append(task)
+                retained_costs.append(int(cost))
             else:
                 outgoing.setdefault(int(dst), []).append(task)
         shipped_in = 0
@@ -369,6 +389,22 @@ def pastis_rank(
             "shipped_in": shipped_in,
         }
         tasks = retained
+        if config.align_balance == "steal":
+            if comm.rank == 0:
+                # deferred import: perfmodel.calibrate reaches back into
+                # core.balance, so a top-level import would be circular
+                from ..perfmodel.calibrate import calibrate_alignment_model
+
+                model = calibrate_alignment_model(
+                    scoring=config.scoring,
+                    gap_open=config.gap_open,
+                    gap_extend=config.gap_extend,
+                    xdrop=config.xdrop,
+                    k=config.k,
+                    traceback=config.needs_traceback,
+                )
+            model = comm.bcast(model, root=0)
+            rebalance["calibration"] = model.as_dict()
         timings["rebal."] = time.perf_counter() - t0
 
     # -- 9. alignment + filter ------------------------------------------------
@@ -384,28 +420,78 @@ def pastis_rank(
         threads=config.align_threads,
         engine=config.align_engine,
     )
-    # one batched call for the local (retained) Fig.-11 triangle: the whole
-    # batch goes to the lane engine at once; NS skips the traceback entirely
-    aligned = list(zip(tasks, align_batch(tasks, **align_kwargs)))
-    # then progress the shipped-task receives: an eager test() sweep aligns
-    # whatever has already landed, and only once nothing is in flight
-    # locally does the rank block in wait() on the lowest pending source
-    while incoming:
-        progressed = False
-        for src in sorted(incoming):
-            done, payload = incoming[src].test()
-            if done:
-                del incoming[src]
-                shipped = decode_tasks(payload)
-                aligned.extend(
-                    zip(shipped, align_batch(shipped, **align_kwargs))
-                )
-                progressed = True
-        if not progressed and incoming:
-            src = min(incoming)
-            shipped = decode_tasks(incoming.pop(src).wait())
-            aligned.extend(
-                zip(shipped, align_batch(shipped, **align_kwargs))
+    if config.align_balance == "steal":
+        # dynamic stage: cost-sorted chunks, measured-progress exchange,
+        # straggler sheds to the idle-soonest rank; static-plan receives
+        # are folded into the same polling loop
+        aligned, steal_stats = steal_align(
+            comm,
+            tasks,
+            retained_costs,
+            align_fn=lambda ts: align_batch(ts, **align_kwargs),
+            cost_fn=cost_fn,
+            initial_remaining=plan.post_cells,
+            rate0=model.cells_per_sec(config.align_mode),
+            factor=config.steal_factor,
+            nchunks=config.steal_chunks,
+            static_incoming=incoming,
+        )
+        rebalance.update(
+            stolen_out=steal_stats["stolen_out"],
+            stolen_in=steal_stats["stolen_in"],
+            chunks=steal_stats["chunks"],
+            aligned_cells=steal_stats["aligned_cells"],
+            align_seconds=steal_stats["align_seconds"],
+            measured_cells_per_sec=steal_stats["measured_cells_per_sec"],
+        )
+    else:
+        # measured throughput accounting times *only* the engine calls —
+        # blocked communication waits would corrupt the cells/sec numbers
+        # the calibration fit is reproduced from (same semantics as the
+        # steal executor's align_seconds)
+        align_seconds = 0.0
+
+        def timed_align(batch: list[AlignmentTask]) -> list:
+            nonlocal align_seconds
+            ta = time.perf_counter()
+            results = align_batch(batch, **align_kwargs)
+            align_seconds += time.perf_counter() - ta
+            return results
+
+        # one batched call for the local (retained) Fig.-11 triangle: the
+        # whole batch goes to the lane engine at once; NS skips the
+        # traceback entirely
+        aligned = list(zip(tasks, timed_align(tasks)))
+        aligned_cells = float(sum(retained_costs))
+        # then progress the shipped-task receives: an eager test() sweep
+        # aligns whatever has already landed, and only once nothing is in
+        # flight locally does the rank block in wait() on the lowest
+        # pending source
+        while incoming:
+            progressed = False
+            for src in sorted(incoming):
+                done, payload = incoming[src].test()
+                if done:
+                    del incoming[src]
+                    shipped = decode_tasks(payload)
+                    if rebalance is not None:
+                        aligned_cells += float(sum(cost_fn(shipped)))
+                    aligned.extend(zip(shipped, timed_align(shipped)))
+                    progressed = True
+            if not progressed and incoming:
+                src = min(incoming)
+                shipped = decode_tasks(incoming.pop(src).wait())
+                if rebalance is not None:
+                    aligned_cells += float(sum(cost_fn(shipped)))
+                aligned.extend(zip(shipped, timed_align(shipped)))
+        if rebalance is not None:
+            rebalance.update(
+                aligned_cells=aligned_cells,
+                align_seconds=align_seconds,
+                measured_cells_per_sec=(
+                    aligned_cells / align_seconds if align_seconds > 0
+                    else 0.0
+                ),
             )
     edges: list[tuple[int, int, float]] = []
     for task, res in aligned:
@@ -437,12 +523,17 @@ def run_pastis_distributed(
     """Convenience driver: run the SPMD pipeline on ``nranks`` simulated
     ranks and assemble the global PSG.
 
-    ``nranks`` must be a perfect square (paper requirement).  The graph's
-    ``meta`` carries per-rank timing dissections — the data behind the
-    Fig. 15/16-style component plots — total alignment counts, and (when
-    rebalancing ran) the per-rank pre/post DP-cell loads under
-    ``meta["align_balance"]``.  ``s_triples`` optionally substitutes a
-    precomputed ``S`` matrix.
+    ``nranks`` must be a perfect square (paper requirement); the result
+    is byte-identical to :func:`repro.core.pipeline.pastis_pipeline` at
+    any rank count and under every ``config.align_balance`` mode (the
+    golden obliviousness invariant).  The graph's ``meta`` carries
+    per-rank timing dissections — the data behind the Fig. 15/16-style
+    component plots — total alignment counts, and (when rebalancing ran)
+    ``meta["align_balance"]``: per-rank pre/post DP-cell loads, measured
+    align throughput (``aligned_cells`` / ``align_seconds`` /
+    ``measured_cells_per_sec``), and for ``"steal"`` the stolen-task
+    totals plus the calibrated cost-model coefficients.  ``s_triples``
+    optionally substitutes a precomputed ``S`` matrix.
     """
     config = config or PastisConfig()
     fasta = store_to_fasta_bytes(store)
@@ -460,7 +551,22 @@ def run_pastis_distributed(
             pre_cells=[r.rebalance["pre_cells"] for r in results],
             post_cells=[r.rebalance["post_cells"] for r in results],
             shipped_tasks=sum(r.rebalance["shipped_out"] for r in results),
+            # measured (not estimated) per-rank alignment throughput — the
+            # reproducible inputs of the calibration fit
+            aligned_cells=[r.rebalance["aligned_cells"] for r in results],
+            align_seconds=[r.rebalance["align_seconds"] for r in results],
+            measured_cells_per_sec=[
+                r.rebalance["measured_cells_per_sec"] for r in results
+            ],
         )
+        if config.align_balance == "steal":
+            balance_meta.update(
+                stolen_tasks=sum(
+                    r.rebalance["stolen_out"] for r in results
+                ),
+                chunks=[r.rebalance["chunks"] for r in results],
+                calibration=results[0].rebalance["calibration"],
+            )
     graph.meta.update(
         variant=config.variant_name,
         nranks=nranks,

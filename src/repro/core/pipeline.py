@@ -89,11 +89,18 @@ def pastis_pipeline(
     store: SequenceStore,
     config: PastisConfig | None = None,
 ) -> SimilarityGraph:
-    """Run the full pipeline on a sequence store.
+    """Run the full single-process pipeline on a sequence store.
+
+    This is the library's main entry point (the distributed twin is
+    :func:`repro.core.distributed.run_pastis_distributed`; both produce
+    the identical graph).  ``config.kernel`` selects the overlap kernel
+    and ``config.align_engine`` the alignment engine — interchangeable
+    implementations with a byte-identical output contract, documented in
+    ``docs/knobs.md``.
 
     The returned graph's ``meta`` records the variant name, per-stage wall
-    times (``overlap``, ``align``), candidate/alignment counts, and the
-    number of edges kept.
+    times (``overlap_seconds``, ``align_seconds``), candidate/alignment
+    counts, and the number of edges kept.
     """
     config = config or PastisConfig()
     t0 = time.perf_counter()

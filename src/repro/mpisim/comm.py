@@ -182,6 +182,19 @@ class SimComm:
             _test_fn=lambda: self._try_recv(source, tag),
         )
 
+    def tryrecv(
+        self, source: int = ANY_SOURCE, tag: int = 0
+    ) -> tuple[bool, Any]:
+        """Non-blocking receive (MPI_Iprobe + recv fused): pop and return
+        the first queued message matching ``(source, tag)`` as
+        ``(True, payload)``, or report ``(False, None)`` without blocking.
+
+        This is how the dynamic alignment work stealer drains its progress
+        and stolen-task channels between DP chunks: repeated calls consume
+        every queued message of a channel, and an empty mailbox costs one
+        lock acquisition."""
+        return self._try_recv(source, tag)
+
     @staticmethod
     def waitall(requests: Sequence[Request]) -> list[Any]:
         """Complete every request (MPI_Waitall)."""

@@ -2,8 +2,9 @@
 dataset statistics, the α–β component cost model, and per-figure series
 generators."""
 
-from .calibrate import calibrate_local_machine
+from .calibrate import calibrate_alignment_model, calibrate_local_machine
 from .costmodel import (
+    AlignmentCostModel,
     ComponentTimes,
     alignment_time,
     last_total,
@@ -27,7 +28,9 @@ from .simulate import (
 from .workloads import PAPER_DATASETS, DatasetSpec, metaclust
 
 __all__ = [
+    "calibrate_alignment_model",
     "calibrate_local_machine",
+    "AlignmentCostModel",
     "ComponentTimes",
     "alignment_time",
     "last_total",

@@ -1,11 +1,22 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface, including the full knob surface:
+``--help`` must list every choice-valued config knob with all its choices,
+and every choice must round-trip into a validated
+:class:`~repro.core.config.PastisConfig`."""
 
 import numpy as np
 import pytest
 
 from repro.bio.fasta import write_fasta
 from repro.bio.generate import scope_like
-from repro.cli import build_parser, main, write_edges_tsv
+from repro.cli import build_parser, config_from_args, main, write_edges_tsv
+from repro.core.config import (
+    ALIGN_BALANCE_MODES,
+    ALIGN_ENGINES,
+    ALIGN_MODES,
+    KERNELS,
+    WEIGHTS,
+    PastisConfig,
+)
 from repro.core.graph import SimilarityGraph
 
 
@@ -52,6 +63,82 @@ class TestParser:
         assert args.align_engine == "batched"
 
 
+#: flag -> (PastisConfig field, canonical choice tuple) for every
+#: choice-valued knob family
+CHOICE_KNOBS = {
+    "--align": ("align_mode", ALIGN_MODES),
+    "--weight": ("weight", WEIGHTS),
+    "--kernel": ("kernel", KERNELS),
+    "--align-engine": ("align_engine", ALIGN_ENGINES),
+    "--align-balance": ("align_balance", ALIGN_BALANCE_MODES),
+}
+
+
+class TestCliSurface:
+    """The CLI is the documented entry point: its help must describe the
+    whole config surface and every choice must reach the config object."""
+
+    def test_help_lists_every_knob_with_choices(self):
+        help_text = build_parser().format_help()
+        flags = (
+            "--k", "--substitutes", "--ck", "--xdrop", "--min-identity",
+            "--min-coverage", "--ranks", "--threads", "--steal-factor",
+            "--steal-chunks", "--cluster", "--inflation", "--output",
+        ) + tuple(CHOICE_KNOBS)
+        for flag in flags:
+            assert flag in help_text, f"{flag} missing from --help"
+        for flag, (_, choices) in CHOICE_KNOBS.items():
+            for choice in choices:
+                assert choice in help_text, (
+                    f"choice {choice!r} of {flag} missing from --help"
+                )
+
+    @pytest.mark.parametrize("flag", sorted(CHOICE_KNOBS))
+    def test_every_choice_roundtrips_into_config(self, flag):
+        field, choices = CHOICE_KNOBS[flag]
+        for choice in choices:
+            args = build_parser().parse_args(
+                ["in.fa", "-o", "o.tsv", flag, choice]
+            )
+            config = config_from_args(args)
+            assert getattr(config, field) == choice
+
+    def test_parser_choices_match_config_validation(self):
+        """The parser's choices= and the config's __post_init__ accept
+        exactly the same values (neither can drift)."""
+        parser = build_parser()
+        by_dest = {a.dest: a for a in parser._actions}
+        for flag, (field, choices) in CHOICE_KNOBS.items():
+            dest = flag.lstrip("-").replace("-", "_")
+            assert tuple(by_dest[dest].choices) == choices
+            for choice in choices:  # config accepts every parser choice
+                PastisConfig(**{field: choice})
+
+    def test_numeric_knobs_roundtrip(self):
+        args = build_parser().parse_args(
+            ["in.fa", "-o", "o.tsv", "--k", "5", "--substitutes", "7",
+             "--ck", "3", "--xdrop", "25", "--min-identity", "0.4",
+             "--min-coverage", "0.8", "--threads", "2",
+             "--steal-factor", "2.5", "--steal-chunks", "4"]
+        )
+        config = config_from_args(args)
+        assert config.k == 5
+        assert config.substitutes == 7
+        assert config.common_kmer_threshold == 3
+        assert config.xdrop == 25
+        assert config.min_identity == 0.4
+        assert config.min_coverage == 0.8
+        assert config.align_threads == 2
+        assert config.steal_factor == 2.5
+        assert config.steal_chunks == 4
+
+    def test_invalid_choice_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["in.fa", "-o", "o.tsv", "--align-balance", "magic"]
+            )
+
+
 class TestMain:
     def test_basic_run(self, fasta_file, tmp_path):
         out = tmp_path / "edges.tsv"
@@ -72,6 +159,17 @@ class TestMain:
               "--ranks", "4", "--quiet"])
         assert sorted(out1.read_text().splitlines()) == sorted(
             out4.read_text().splitlines()
+        )
+
+    def test_align_balance_steal_oblivious(self, fasta_file, tmp_path):
+        out_off = tmp_path / "eo.tsv"
+        out_steal = tmp_path / "es.tsv"
+        main([str(fasta_file), "-o", str(out_off), "--k", "4", "--quiet",
+              "--ranks", "4"])
+        main([str(fasta_file), "-o", str(out_steal), "--k", "4", "--quiet",
+              "--ranks", "4", "--align-balance", "steal"])
+        assert sorted(out_off.read_text().splitlines()) == sorted(
+            out_steal.read_text().splitlines()
         )
 
     def test_align_engine_oblivious(self, fasta_file, tmp_path):

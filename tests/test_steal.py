@@ -1,0 +1,362 @@
+"""Tests for the dynamic alignment work stealer
+(:func:`repro.core.balance.steal_align`): the trigger decision, the SPMD
+chunk/progress/steal/terminate loop, the calibrated cost model that seeds
+it, and the distributed pipeline's ``align_balance="steal"`` parity."""
+
+import time
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.align.batch import AlignmentTask
+from repro.core.balance import (
+    PROGRESS_TAG,
+    STEAL_TAG,
+    encode_tasks,
+    steal_align,
+    steal_decision,
+)
+from repro.mpisim.comm import run_spmd
+from repro.perfmodel.calibrate import calibrate_alignment_model
+from repro.perfmodel.costmodel import AlignmentCostModel
+
+_TAG_STATIC = 77  # the distributed pipeline's static-plan rebal tag
+
+
+def _task(pair, side=10):
+    """A synthetic task whose cost under ``_cost_fn`` is ``side ** 2``."""
+    return AlignmentTask(
+        a=np.zeros(side, dtype=np.int8),
+        b=np.zeros(side, dtype=np.int8),
+        seeds=((0, 0),),
+        pair=pair,
+    )
+
+
+def _cost_fn(tasks):
+    return [len(t.a) * len(t.b) for t in tasks]
+
+
+def _sleep_align_fn(rate, speed=1.0):
+    """Fake engine: wall time proportional to cells at ``rate * speed``
+    cells/sec — the controlled mis-estimation knob of the straggler
+    scenarios (the scheduler believes ``rate``; the rank delivers
+    ``rate * speed``)."""
+
+    def align_fn(tasks):
+        time.sleep(sum(_cost_fn(tasks)) / (rate * speed))
+        return [t.pair for t in tasks]
+
+    return align_fn
+
+
+class TestStealDecision:
+    def test_balanced_fleet_stays_quiet(self):
+        assert steal_decision([100, 100, 100, 100], [10] * 4, 0, 1.5) is None
+
+    def test_straggler_sheds_to_idle_soonest(self):
+        # rank 0 projects 100s, ranks 1-3 project 10/5/5s -> dest is the
+        # minimum projection, lowest rank on ties
+        dec = steal_decision([1000, 100, 50, 50], [10] * 4, 0, 1.5)
+        assert dec is not None
+        dest, target = dec
+        assert dest == 2
+        # levelling: half the projection gap at the victim's rate
+        assert target == pytest.approx((100 - 5) / 2 * 10)
+
+    def test_factor_is_hysteresis(self):
+        rem, rates = [300, 100, 100, 100], [10] * 4
+        assert steal_decision(rem, rates, 0, 4.0) is None
+        assert steal_decision(rem, rates, 0, 1.5) is not None
+
+    def test_non_straggler_never_sheds(self):
+        assert steal_decision([1000, 100, 50, 50], [10] * 4, 1, 1.5) is None
+
+    def test_min_cells_guards_endgame_thrash(self):
+        rem, rates = [30, 1, 1, 1], [10] * 4
+        assert steal_decision(rem, rates, 0, 1.5, min_cells=1000) is None
+        assert steal_decision(rem, rates, 0, 1.5, min_cells=10) is not None
+
+    def test_rates_convert_cells_to_time(self):
+        # rank 0 holds more cells but is proportionally faster: no steal
+        assert steal_decision([1000, 100], [100, 10], 0, 1.5) is None
+
+    def test_finished_rank_never_sheds(self):
+        assert steal_decision([0, 100], [10, 10], 0, 1.1) is None
+
+    def test_infinite_factor_disables_stealing(self):
+        # even against an all-idle fleet (median 0, where any finite
+        # factor triggers) — the straggler benchmark's static baseline
+        dec = steal_decision([1000, 0, 0, 0], [10] * 4, 0, float("inf"))
+        assert dec is None
+
+
+class TestTryrecv:
+    def test_nonblocking_and_fifo(self):
+        def body(comm):
+            if comm.rank == 0:
+                ok, _ = comm.tryrecv(tag=5)
+                empty_first = not ok
+                comm.recv(source=1, tag=9)  # rendezvous: both sent
+                got = []
+                while True:
+                    ok, msg = comm.tryrecv(tag=5)
+                    if not ok:
+                        break
+                    got.append(msg)
+                return empty_first, got
+            comm.send("a", dest=0, tag=5)
+            comm.send("b", dest=0, tag=5)
+            comm.send("sent", dest=0, tag=9)
+            return None
+
+        out = run_spmd(2, body)
+        empty_first, got = out[0]
+        assert empty_first
+        assert got == ["a", "b"]  # per-channel FIFO order
+
+
+class TestStealAlignSPMD:
+    NRANKS = 4
+    RATE = 2e5
+
+    def _run(self, speeds, factor, ntasks=16, side=50, nchunks=8):
+        total = float(ntasks * side * side)
+
+        def body(comm):
+            tasks = [_task((comm.rank, i), side) for i in range(ntasks)]
+            aligned, stats = steal_align(
+                comm,
+                tasks,
+                _cost_fn(tasks),
+                align_fn=_sleep_align_fn(self.RATE, speeds[comm.rank]),
+                cost_fn=_cost_fn,
+                initial_remaining=[total] * self.NRANKS,
+                rate0=self.RATE,
+                factor=factor,
+                nchunks=nchunks,
+            )
+            return [t.pair for t, _ in aligned], stats
+
+        return run_spmd(self.NRANKS, body)
+
+    def _coverage(self, out, ntasks=16):
+        counts = Counter(p for pairs, _ in out for p in pairs)
+        expect = {(r, i) for r in range(self.NRANKS) for i in range(ntasks)}
+        assert set(counts) == expect
+        assert all(c == 1 for c in counts.values()), (
+            "a task was aligned twice or dropped"
+        )
+
+    def test_balanced_fleet_steals_nothing(self):
+        out = self._run(speeds=[1.0] * 4, factor=10.0)
+        self._coverage(out)
+        for pairs, stats in out:
+            assert stats["stolen_out"] == 0
+            assert stats["stolen_in"] == 0
+            assert len(pairs) == 16
+
+    def test_mis_estimated_straggler_sheds(self):
+        """Rank 0 secretly runs 5x slower than the cost model's estimate;
+        it must detect this from measured progress and shed work, and
+        every task must still be aligned exactly once."""
+        out = self._run(speeds=[0.2, 1.0, 1.0, 1.0], factor=1.3)
+        self._coverage(out)
+        assert out[0][1]["stolen_out"] > 0
+        assert sum(s["stolen_out"] for _, s in out) == sum(
+            s["stolen_in"] for _, s in out
+        )
+        # the straggler ended with fewer tasks than its static share
+        assert len(out[0][0]) < 16
+
+    def test_idle_ranks_absorb_a_loaded_rank(self):
+        """All work starts on rank 0 (no static plan correction): the idle
+        ranks' zero projections make rank 0 shed immediately."""
+        ntasks = 12
+
+        def body(comm):
+            tasks = (
+                [_task((0, i), 40) for i in range(ntasks)]
+                if comm.rank == 0 else []
+            )
+            remaining = [float(ntasks * 40 * 40), 0.0, 0.0, 0.0]
+            aligned, stats = steal_align(
+                comm,
+                tasks,
+                _cost_fn(tasks),
+                align_fn=_sleep_align_fn(self.RATE),
+                cost_fn=_cost_fn,
+                initial_remaining=remaining,
+                rate0=self.RATE,
+                factor=1.5,
+                nchunks=4,
+            )
+            return [t.pair for t, _ in aligned], stats
+
+        out = run_spmd(self.NRANKS, body)
+        counts = Counter(p for pairs, _ in out for p in pairs)
+        assert set(counts) == {(0, i) for i in range(ntasks)}
+        assert all(c == 1 for c in counts.values())
+        assert out[0][1]["stolen_out"] > 0
+        assert sum(s["stolen_in"] for _, s in out[1:]) > 0
+
+    def test_stolen_tasks_never_reship(self):
+        """Stolen tasks are ineligible at the thief: total hops stay
+        bounded, so stolen_in across the fleet equals stolen_out even
+        under an aggressive factor."""
+        out = self._run(speeds=[0.3, 1.0, 1.0, 1.0], factor=1.05)
+        self._coverage(out)
+        assert sum(s["stolen_out"] for _, s in out) == sum(
+            s["stolen_in"] for _, s in out
+        )
+
+    def test_single_rank(self):
+        def body(comm):
+            tasks = [_task((0, i), 20) for i in range(5)]
+            aligned, stats = steal_align(
+                comm, tasks, _cost_fn(tasks),
+                align_fn=lambda ts: [t.pair for t in ts],
+                cost_fn=_cost_fn,
+                initial_remaining=[float(5 * 400)],
+                rate0=1e6, factor=1.5, nchunks=3,
+            )
+            return [t.pair for t, _ in aligned], stats
+
+        (pairs, stats), = run_spmd(1, body)
+        assert sorted(pairs) == [(0, i) for i in range(5)]
+        assert stats["stolen_out"] == stats["stolen_in"] == 0
+        assert stats["chunks"] >= 3
+
+    def test_static_incoming_folds_into_queue(self):
+        """Pending static-plan payloads land inside the stealing loop and
+        their tasks are aligned (and steal-eligible) at the receiver."""
+        nship = 3
+
+        def body(comm):
+            if comm.rank == 0:
+                shipped = [_task((9, i), 30) for i in range(nship)]
+                comm.isend(encode_tasks(shipped), dest=1, tag=_TAG_STATIC,
+                           kind="rebal")
+                tasks, incoming = [_task((0, 0), 30)], None
+            else:
+                tasks = [_task((1, 0), 30)]
+                incoming = {0: comm.irecv(0, tag=_TAG_STATIC)}
+            remaining = [900.0, 900.0 * (1 + nship)]
+            aligned, stats = steal_align(
+                comm, tasks, _cost_fn(tasks),
+                align_fn=lambda ts: [t.pair for t in ts],
+                cost_fn=_cost_fn,
+                initial_remaining=remaining,
+                rate0=1e6, factor=10.0, nchunks=2,
+                static_incoming=incoming,
+            )
+            return sorted(t.pair for t, _ in aligned)
+
+        out = run_spmd(2, body)
+        assert out[0] == [(0, 0)]
+        assert out[1] == [(1, 0)] + [(9, i) for i in range(nship)]
+
+    def test_measured_throughput_reported(self):
+        out = self._run(speeds=[1.0] * 4, factor=10.0)
+        for _, stats in out:
+            assert stats["aligned_cells"] == 16 * 50 * 50
+            assert stats["align_seconds"] > 0
+            assert stats["measured_cells_per_sec"] == pytest.approx(
+                stats["aligned_cells"] / stats["align_seconds"]
+            )
+
+    def test_tags_are_distinct(self):
+        assert len({STEAL_TAG, PROGRESS_TAG, _TAG_STATIC}) == 3
+
+
+class TestCalibratedSeed:
+    def test_fit_shapes_the_trigger(self):
+        """The calibrated model supplies a usable initial rate: projecting
+        with it yields finite, positive finish times."""
+        model = calibrate_alignment_model(k=4)
+        for mode in ("xd", "sw"):
+            rate = model.cells_per_sec(mode)
+            assert np.isfinite(rate) and rate > 0
+            assert model.seconds(1e6, 10, mode) > 0
+
+    def test_dict_roundtrip(self):
+        model = calibrate_alignment_model(k=4)
+        again = AlignmentCostModel.from_dict(model.as_dict())
+        assert again == model
+
+    def test_memoised_per_configuration(self):
+        assert calibrate_alignment_model(k=4) is calibrate_alignment_model(
+            k=4
+        )
+
+    def test_unknown_mode_rejected(self):
+        model = AlignmentCostModel(1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.cells_per_sec("nw")
+        with pytest.raises(ValueError):
+            model.seconds(1.0, 1, "nw")
+
+
+class TestDistributedSteal:
+    """``align_balance="steal"`` in the full SPMD pipeline (the 1/4/9-grid
+    sweep lives in the golden obliviousness test)."""
+
+    @pytest.fixture(scope="class")
+    def store(self):
+        from repro.bio.generate import scope_like
+
+        return scope_like(
+            n_families=3, members_per_family=(3, 3),
+            length_range=(40, 60), divergence=0.15, seed=7,
+        ).store
+
+    def _edges(self, graph):
+        return sorted(
+            zip(graph.ri.tolist(), graph.rj.tolist(),
+                graph.weights.tolist())
+        )
+
+    @pytest.mark.parametrize("mode", ["xd", "sw"])
+    def test_byte_identical_to_off(self, store, mode):
+        from dataclasses import replace
+
+        from repro.core.config import PastisConfig
+        from repro.core.distributed import run_pastis_distributed
+
+        config = PastisConfig(align_mode=mode)
+        off = run_pastis_distributed(store, config, nranks=4)
+        steal = run_pastis_distributed(
+            store, replace(config, align_balance="steal"), nranks=4
+        )
+        assert self._edges(off) == self._edges(steal)
+        assert self._edges(off), "no edges — parity would be vacuous"
+
+    def test_meta_records_the_dynamic_stage(self, store):
+        from repro.core.config import PastisConfig
+        from repro.core.distributed import run_pastis_distributed
+
+        graph = run_pastis_distributed(
+            store, PastisConfig(align_balance="steal"), nranks=4
+        )
+        meta = graph.meta["align_balance"]
+        assert meta["mode"] == "steal"
+        assert len(meta["measured_cells_per_sec"]) == 4
+        assert len(meta["aligned_cells"]) == 4
+        assert sum(meta["aligned_cells"]) == sum(meta["post_cells"])
+        assert meta["stolen_tasks"] >= 0
+        assert set(meta["calibration"]) == {
+            "xd_cells_per_sec", "sw_cells_per_sec",
+            "xd_task_overhead", "sw_task_overhead",
+        }
+        assert all(c >= 1 for c in meta["chunks"] if c)
+
+    def test_config_validation(self):
+        from repro.core.config import PastisConfig
+
+        with pytest.raises(ValueError):
+            PastisConfig(steal_factor=0.5)
+        with pytest.raises(ValueError):
+            PastisConfig(steal_chunks=0)
+        with pytest.raises(ValueError):
+            PastisConfig(align_balance="work-queue")
