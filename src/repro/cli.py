@@ -31,6 +31,7 @@ from .core.config import (
     ALIGN_BALANCE_MODES,
     ALIGN_ENGINES,
     ALIGN_MODES,
+    COMM_BACKENDS,
     KERNELS,
     WEIGHTS,
     PastisConfig,
@@ -106,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steal-chunks", type=int, default=8,
                    help="poll cadence of the stealing scheduler: chunks "
                    "per rank between progress exchanges")
+    p.add_argument("--comm-backend", choices=COMM_BACKENDS,
+                   default=None,
+                   help="SPMD substrate for --ranks > 1: 'sim' "
+                   "(thread-per-rank simulator, deterministic, default), "
+                   "'mp' (one OS process per rank, ndarray payloads via "
+                   "shared memory — uses all cores), or 'mpi' (mpi4py, "
+                   "requires an mpirun launch); byte-identical graphs "
+                   "either way (defaults to $REPRO_COMM_BACKEND or 'sim')")
     p.add_argument("--cluster", metavar="TSV", default=None,
                    help="also run Markov Clustering and write "
                    "(id, cluster) rows to this file")
@@ -121,6 +130,11 @@ def config_from_args(args: argparse.Namespace) -> PastisConfig:
     The single authoritative flag-to-field mapping — ``main`` uses it, and
     the CLI round-trip tests exercise it for every knob choice.
     """
+    extra = {}
+    if args.comm_backend is not None:
+        # leave the field to its default otherwise, so the
+        # REPRO_COMM_BACKEND environment default keeps working
+        extra["comm_backend"] = args.comm_backend
     return PastisConfig(
         k=args.k,
         substitutes=args.substitutes,
@@ -136,6 +150,7 @@ def config_from_args(args: argparse.Namespace) -> PastisConfig:
         align_balance=args.align_balance,
         steal_factor=args.steal_factor,
         steal_chunks=args.steal_chunks,
+        **extra,
     )
 
 

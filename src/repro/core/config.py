@@ -8,14 +8,17 @@ and 3 for substitute k-mers when the CK variant is enabled.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..bio.scoring import BLOSUM62, ScoringMatrix
+from ..mpisim.backend import COMM_BACKENDS
 
 __all__ = [
     "ALIGN_BALANCE_MODES",
     "ALIGN_ENGINES",
     "ALIGN_MODES",
+    "COMM_BACKENDS",
     "KERNELS",
     "WEIGHTS",
     "PastisConfig",
@@ -23,11 +26,21 @@ __all__ = [
 
 #: valid values of the choice-valued knobs — the CLI builds its ``choices``
 #: from these and the CLI surface test round-trips every one of them
+#: (COMM_BACKENDS is re-exported from repro.mpisim.backend, its source of
+#: truth, so the registry and the knob can never drift)
 ALIGN_MODES = ("xd", "sw")
 WEIGHTS = ("ani", "ns")
 KERNELS = ("join", "numeric", "struct", "semiring")
 ALIGN_ENGINES = ("batched", "python")
 ALIGN_BALANCE_MODES = ("off", "greedy", "steal")
+
+
+def _default_comm_backend() -> str:
+    """``comm_backend``'s default honours ``REPRO_COMM_BACKEND`` so a test
+    or CI matrix can run the whole suite on another backend without
+    touching any call site (only the *config* default reads the variable;
+    ``run_spmd``'s own default stays ``"sim"``)."""
+    return os.environ.get("REPRO_COMM_BACKEND", "sim")
 
 
 @dataclass(frozen=True)
@@ -96,6 +109,22 @@ class PastisConfig:
         Poll cadence of the stealing scheduler: each rank splits its
         statically planned load into this many cost-sorted chunks and
         re-evaluates progress/stealing between chunks.
+    comm_backend:
+        SPMD substrate of the distributed pipeline
+        (:func:`repro.mpisim.backend.run_spmd`):
+
+        * ``"sim"`` (the default) — thread-per-rank simulator:
+          deterministic, zero startup cost, full tracing, but the GIL
+          serialises compute;
+        * ``"mp"`` — one OS process per rank with large ndarray payloads
+          shipped through shared memory: real multi-core wall-clock
+          parallelism on one machine;
+        * ``"mpi"`` — mpi4py adapter for genuinely distributed runs
+          (requires mpi4py and an ``mpirun`` launch).
+
+        The graph is byte-identical across backends (a tested invariant).
+        The default honours the ``REPRO_COMM_BACKEND`` environment
+        variable so CI can matrix the whole suite over backends.
     """
 
     k: int = 6
@@ -116,6 +145,7 @@ class PastisConfig:
     align_balance: str = "off"
     steal_factor: float = 1.5
     steal_chunks: int = 8
+    comm_backend: str = field(default_factory=_default_comm_backend)
 
     def __post_init__(self) -> None:
         if self.align_mode not in ALIGN_MODES:
@@ -144,6 +174,10 @@ class PastisConfig:
             raise ValueError("steal_factor must be >= 1.0")
         if self.steal_chunks < 1:
             raise ValueError("steal_chunks must be positive")
+        if self.comm_backend not in COMM_BACKENDS:
+            raise ValueError(
+                f"comm_backend must be one of {', '.join(COMM_BACKENDS)}"
+            )
 
     @property
     def uses_filter(self) -> bool:

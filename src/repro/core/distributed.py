@@ -44,7 +44,7 @@ from ..align.stats import passes_filter
 from ..bio.fasta import chunk_boundaries, read_fasta_chunk, FastaRecord
 from ..bio.sequences import DistributedIndex, SequenceStore
 from ..kmers.encoding import kmer_space_size
-from ..mpisim.comm import Request, SimComm, run_spmd
+from ..mpisim.backend import CommBackend, Request, run_spmd
 from ..mpisim.grid import ProcessGrid
 from ..mpisim.tracing import CommTracer
 from ..sparse.distmat import DistSparseMatrix
@@ -186,7 +186,7 @@ def _overlap_semirings(reference: bool):
     )
 
 
-def _ck_packable(comm: SimComm, *value_arrays) -> bool:
+def _ck_packable(comm: CommBackend, *value_arrays) -> bool:
     """Collective check that every position/distance across all ranks fits
     the CommonKmers seed pack (:data:`~repro.core.semirings.CK_SEED_LIMIT`).
 
@@ -206,7 +206,7 @@ def _ck_packable(comm: SimComm, *value_arrays) -> bool:
 
 
 def pastis_rank(
-    comm: SimComm,
+    comm: CommBackend,
     fasta_bytes: bytes,
     config: PastisConfig,
     s_triples: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
@@ -538,7 +538,8 @@ def run_pastis_distributed(
     config = config or PastisConfig()
     fasta = store_to_fasta_bytes(store)
     results: list[RankResult] = run_spmd(
-        nranks, pastis_rank, fasta, config, s_triples, tracer=tracer
+        nranks, pastis_rank, fasta, config, s_triples, tracer=tracer,
+        comm_backend=config.comm_backend,
     )
     edges: list[tuple[int, int, float]] = []
     for r in results:

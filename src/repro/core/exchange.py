@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..bio.sequences import DistributedIndex, SequenceStore
-from ..mpisim.comm import Request, SimComm
+from ..mpisim.backend import CommBackend, Request
 from ..mpisim.grid import ProcessGrid, block_ranges
 
 __all__ = ["SequenceExchange", "needed_ranges", "start_exchange"]
@@ -85,7 +85,7 @@ class SequenceExchange:
 
 
 def start_exchange(
-    comm: SimComm,
+    comm: CommBackend,
     grid: ProcessGrid,
     index: DistributedIndex,
     local_store: SequenceStore,

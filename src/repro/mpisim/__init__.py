@@ -1,16 +1,32 @@
-"""Simulated MPI: thread-based SPMD runtime with tracing, the substrate the
-distributed pipeline runs on in this reproduction."""
+"""SPMD communication runtimes: the :class:`CommBackend` interface, the
+thread-based simulator (``sim``), the process-per-rank backend (``mp``)
+and the mpi4py adapter (``mpi``) the distributed pipeline runs on."""
 
-from .comm import ANY_SOURCE, Request, SimComm, SpmdError, run_spmd
+from .backend import (
+    ANY_SOURCE,
+    COMM_BACKENDS,
+    CommBackend,
+    Request,
+    SpmdError,
+    available_backends,
+    get_runner,
+    run_spmd,
+)
+from .comm import SimComm, run_spmd_sim
 from .grid import ProcessGrid, block_ranges, is_perfect_square, nearest_square
 from .tracing import CommTracer, MessageRecord, payload_bytes
 
 __all__ = [
     "ANY_SOURCE",
+    "COMM_BACKENDS",
+    "CommBackend",
     "Request",
     "SimComm",
     "SpmdError",
+    "available_backends",
+    "get_runner",
     "run_spmd",
+    "run_spmd_sim",
     "ProcessGrid",
     "block_ranges",
     "is_perfect_square",

@@ -1,12 +1,13 @@
 """Thread-based SPMD simulator of the MPI communication core.
 
 The paper's distributed pipeline is SPMD over MPI; this module executes the
-same program structure inside one Python process: :func:`run_spmd` launches
-one thread per rank, each receiving a :class:`SimComm` that supports the
-point-to-point and collective operations PASTIS relies on (``Isend`` /
-``Irecv`` / ``Waitall`` for the overlapped sequence exchange, broadcast
-along grid rows/columns for SUMMA, all-to-all for the distributed transpose
-and redistribution).
+same program structure inside one Python process: :func:`run_spmd_sim`
+launches one thread per rank, each receiving a :class:`SimComm` — the
+``"sim"`` implementation of the :class:`~repro.mpisim.backend.CommBackend`
+interface — that supports the point-to-point and collective operations
+PASTIS relies on (``Isend`` / ``Irecv`` / ``Waitall`` for the overlapped
+sequence exchange, broadcast along grid rows/columns for SUMMA, all-to-all
+for the distributed transpose and redistribution).
 
 Semantics follow mpi4py's lowercase (pickle-object) API: messages match on
 ``(source, tag)``, in FIFO order per channel; ``isend`` is buffered and
@@ -17,31 +18,45 @@ communicator.  All traffic is reported to an optional
 A watchdog timeout (default 120 s) converts deadlocks into test failures
 instead of hangs, and any rank raising an exception aborts the whole
 program deterministically.
+
+The simulator trades parallelism for determinism and zero startup cost:
+all ranks share one interpreter, so the GIL serialises their compute.  The
+process-per-rank twin (:mod:`repro.mpisim.mpcomm`, ``comm_backend="mp"``)
+runs the identical interface on real cores; :func:`run_spmd` dispatches
+between them.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from .backend import (
+    ANY_SOURCE,
+    DEFAULT_TIMEOUT,
+    CommBackend,
+    Request,
+    SpmdError,
+    run_spmd,
+)
 from .tracing import CommTracer, payload_bytes
 
-__all__ = ["SimComm", "Request", "SpmdError", "run_spmd", "ANY_SOURCE"]
+__all__ = [
+    "ANY_SOURCE",
+    "Request",
+    "SimComm",
+    "SpmdError",
+    "run_spmd",
+    "run_spmd_sim",
+]
 
-#: Wildcard source for :meth:`SimComm.recv`.
-ANY_SOURCE = -1
-
-_DEFAULT_TIMEOUT = 120.0
-
-
-class SpmdError(RuntimeError):
-    """Raised when a rank fails or the program deadlocks/times out."""
+_DEFAULT_TIMEOUT = DEFAULT_TIMEOUT
 
 
 class _Backend:
-    """State shared by all ranks of one communicator."""
+    """State shared by all ranks of one simulated communicator."""
 
     def __init__(self, size: int, tracer: CommTracer | None, timeout: float):
         self.size = size
@@ -73,40 +88,8 @@ class _Backend:
             raise SpmdError("aborted by a failing rank") from self.error
 
 
-@dataclass
-class Request:
-    """Handle for a non-blocking operation."""
-
-    _wait_fn: Callable[[], Any]
-    _done: bool = False
-    _value: Any = None
-    _test_fn: Callable[[], tuple[bool, Any]] | None = None
-
-    def wait(self) -> Any:
-        if not self._done:
-            self._value = self._wait_fn()
-            self._done = True
-        return self._value
-
-    def test(self) -> tuple[bool, Any]:
-        """Non-blocking completion check (MPI_Test): a pending receive
-        polls the mailbox under the condition lock and, when a matching
-        message is there, completes by consuming it — it never blocks.
-        Once completed (here or in :meth:`wait`) the value is latched and
-        every later ``test``/``wait`` returns it again."""
-        if self._done:
-            return True, self._value
-        if self._test_fn is not None:
-            ok, value = self._test_fn()
-            if ok:
-                self._value = value
-                self._done = True
-                return True, value
-        return False, None
-
-
-class SimComm:
-    """Per-rank view of a simulated communicator."""
+class SimComm(CommBackend):
+    """Per-rank view of a simulated communicator (the ``"sim"`` backend)."""
 
     def __init__(self, backend: _Backend, rank: int):
         self._backend = backend
@@ -132,25 +115,30 @@ class SimComm:
             be.mailboxes[dest].append((self.rank, tag, obj))
             be.cond.notify_all()
 
-    def isend(self, obj: Any, dest: int, tag: int = 0,
-              kind: str = "p2p") -> Request:
-        """Non-blocking send; buffered, hence complete on return."""
-        self.send(obj, dest, tag, kind=kind)
-        return Request(lambda: None, _done=True)
-
     def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
-        """Blocking receive matching ``(source, tag)`` in FIFO order."""
+        """Blocking receive matching ``(source, tag)`` in FIFO order.
+
+        Times out against a fixed deadline (``backend.timeout`` from the
+        call), so unrelated mailbox traffic cannot postpone deadlock
+        detection indefinitely — and every wakeup, the deadline one
+        included, re-scans the mailbox before raising, so a message
+        queued between a timed-out wait and the deadline check is still
+        consumed instead of surfacing as a spurious timeout."""
         be = self._backend
         box = be.mailboxes[self.rank]
-        deadline_hit = threading.Event()
+        deadline = time.monotonic() + be.timeout
         with be.cond:
             while True:
                 be.check_error()
+                # the scan runs on every wakeup — notify and timeout
+                # alike — so the timeout verdict below can never race a
+                # message that arrived while we were waking up
                 for i, (src, t, obj) in enumerate(box):
                     if (source == ANY_SOURCE or src == source) and t == tag:
                         del box[i]
                         return obj
-                if deadline_hit.is_set():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     exc = SpmdError(
                         f"rank {self.rank} recv(source={source}, tag={tag}) "
                         f"timed out after {be.timeout}s"
@@ -158,29 +146,7 @@ class SimComm:
                     be.error = be.error or exc
                     be.cond.notify_all()
                     raise exc
-                if not be.cond.wait(timeout=be.timeout):
-                    deadline_hit.set()
-
-    def _try_recv(self, source: int, tag: int) -> tuple[bool, Any]:
-        """One non-blocking matching attempt: pop a matching message under
-        the condition lock if one is already queued, else report pending."""
-        be = self._backend
-        box = be.mailboxes[self.rank]
-        with be.cond:
-            be.check_error()
-            for i, (src, t, obj) in enumerate(box):
-                if (source == ANY_SOURCE or src == source) and t == tag:
-                    del box[i]
-                    return True, obj
-        return False, None
-
-    def irecv(self, source: int = ANY_SOURCE, tag: int = 0) -> Request:
-        """Non-blocking receive; completion happens inside ``wait`` or an
-        eager :meth:`Request.test` poll."""
-        return Request(
-            lambda: self.recv(source, tag),
-            _test_fn=lambda: self._try_recv(source, tag),
-        )
+                be.cond.wait(timeout=remaining)
 
     def tryrecv(
         self, source: int = ANY_SOURCE, tag: int = 0
@@ -193,12 +159,15 @@ class SimComm:
         and stolen-task channels between DP chunks: repeated calls consume
         every queued message of a channel, and an empty mailbox costs one
         lock acquisition."""
-        return self._try_recv(source, tag)
-
-    @staticmethod
-    def waitall(requests: Sequence[Request]) -> list[Any]:
-        """Complete every request (MPI_Waitall)."""
-        return [r.wait() for r in requests]
+        be = self._backend
+        box = be.mailboxes[self.rank]
+        with be.cond:
+            be.check_error()
+            for i, (src, t, obj) in enumerate(box):
+                if (source == ANY_SOURCE or src == source) and t == tag:
+                    del box[i]
+                    return True, obj
+        return False, None
 
     # -- collectives -----------------------------------------------------------
 
@@ -308,32 +277,44 @@ class SimComm:
             acc = op(acc, v)
         return acc
 
-    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
-        vals = self.allgather(obj)
-        acc = vals[0]
-        for v in vals[1:]:
-            acc = op(acc, v)
-        return acc
-
-    def exscan(self, value: int) -> int:
-        """Exclusive prefix sum of integers (0 on rank 0) — PASTIS's
-        cooperative sequence-count prefix sums."""
-        vals = self.allgather(value)
-        return sum(vals[: self.rank])
-
     # -- sub-communicators -----------------------------------------------------
 
     def split(self, color: int, key: int | None = None) -> "SimComm":
         """Partition ranks by ``color`` into sub-communicators; rank order
-        within a group follows ``(key, parent rank)``."""
+        within a group follows ``(key, parent rank)``.
+
+        A collective: every rank of the communicator must call ``split``
+        the same number of times.  The sub-communicator registry is keyed
+        by the grid-wide split call index, so the indices are allgathered
+        and validated — ranks whose counts diverged used to pair silently
+        into wrong backends; now every rank raises a clear
+        :class:`SpmdError`."""
         be = self._backend
         call_idx = self._split_calls
         self._split_calls += 1
         if key is None:
             key = self.rank
-        triples = self.allgather((color, key, self.rank))
+        quads = self.allgather(("split", call_idx, color, key, self.rank))
+        seen_calls = set()
+        for q in quads:
+            if (not isinstance(q, tuple) or len(q) != 5
+                    or q[0] != "split"):
+                # the peer was inside a *different* collective — the
+                # signature of unequal split counts
+                raise SpmdError(
+                    f"rank {self.rank} split(call {call_idx}) paired with "
+                    f"a non-split collective: ranks must call split() the "
+                    f"same number of times"
+                )
+            seen_calls.add(q[1])
+        if len(seen_calls) != 1:
+            raise SpmdError(
+                f"split call-index mismatch across ranks "
+                f"({sorted(seen_calls)}): ranks must call split() the "
+                f"same number of times"
+            )
         group = sorted(
-            (k, r) for (c, k, r) in triples if c == color
+            (k, r) for (_m, _ci, c, k, r) in quads if c == color
         )
         new_rank = group.index((key, self.rank))
         with be.lock:
@@ -345,19 +326,16 @@ class SimComm:
         self.barrier()
         return SimComm(sub, new_rank)
 
-    def __repr__(self) -> str:  # pragma: no cover
-        return f"SimComm(rank={self.rank}, size={self.size})"
 
-
-def run_spmd(
+def run_spmd_sim(
     nranks: int,
     fn: Callable[..., Any],
     *args: Any,
     tracer: CommTracer | None = None,
     timeout: float = _DEFAULT_TIMEOUT,
 ) -> list[Any]:
-    """Run ``fn(comm, *args)`` on ``nranks`` simulated ranks; return the
-    per-rank results in rank order.
+    """Run ``fn(comm, *args)`` on ``nranks`` simulated (thread) ranks;
+    return the per-rank results in rank order.
 
     Any rank raising aborts all ranks and re-raises as :class:`SpmdError`
     carrying the first failure as ``__cause__``.  A rank stuck in pure
@@ -390,12 +368,18 @@ def run_spmd(
     ]
     for t in threads:
         t.start()
+    # one shared deadline for the whole fleet: every healthy rank's own
+    # communication watchdog fires within ~timeout, so a 9-rank deadlock
+    # is diagnosed in ~timeout here too — sequential per-thread budgets
+    # would make worst-case hang detection O(nranks * timeout)
+    deadline = time.monotonic() + timeout * 2
     for t in threads:
-        t.join(timeout=timeout * 2)
-        if t.is_alive():
-            backend.abort(SpmdError("rank thread did not terminate"))
-    for t in threads:
-        t.join(timeout=min(5.0, timeout))
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
+    if any(t.is_alive() for t in threads):
+        backend.abort(SpmdError("rank thread did not terminate"))
+        grace = time.monotonic() + min(5.0, timeout)
+        for t in threads:
+            t.join(timeout=max(0.0, grace - time.monotonic()))
     failures.sort(key=lambda f: f[0])
     stuck = sorted(
         int(t.name.rsplit("-", 1)[1]) for t in threads if t.is_alive()

@@ -1,4 +1,4 @@
-"""2-D process grid (CombBLAS-style) on top of the simulated communicator.
+"""2-D process grid (CombBLAS-style) on top of any :class:`CommBackend`.
 
 PASTIS requires ``p = q²`` ranks arranged in a √p x √p grid (Section V); a
 rank at grid coordinates ``(pi, pj)`` owns the matrix block with row range
@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .comm import SimComm
+from .backend import CommBackend
 
 __all__ = ["ProcessGrid", "is_perfect_square", "nearest_square", "block_ranges"]
 
@@ -63,15 +63,15 @@ class ProcessGrid:
         them are ordered by grid column / row respectively.
     """
 
-    comm: SimComm
+    comm: CommBackend
     q: int
     row: int
     col: int
-    row_comm: SimComm
-    col_comm: SimComm
+    row_comm: CommBackend
+    col_comm: CommBackend
 
     @classmethod
-    def create(cls, comm: SimComm) -> "ProcessGrid":
+    def create(cls, comm: CommBackend) -> "ProcessGrid":
         p = comm.size
         if not is_perfect_square(p):
             raise ValueError(

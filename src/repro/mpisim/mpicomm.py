@@ -1,0 +1,199 @@
+"""mpi4py adapter (``comm_backend="mpi"``): the same
+:class:`~repro.mpisim.backend.CommBackend` surface over a real MPI world.
+
+This is the genuinely distributed substrate the paper's PASTIS runs on.
+It is a thin translation layer: the simulator and the process backend
+already follow mpi4py's lowercase (pickle-object) semantics, so every
+operation maps one-to-one.  The module imports without mpi4py installed;
+only *constructing* the adapter requires it, and :func:`run_spmd_mpi`
+additionally requires the interpreter to have been launched by ``mpirun``
+with a world size matching ``nranks``:
+
+.. code-block:: bash
+
+   mpirun -n 4 python -m repro.cli input.fasta -o out.tsv \\
+       --ranks 4 --comm-backend mpi
+
+Unlike ``sim``/``mp``, the runner does not *create* ranks — every MPI
+process executes the whole program and :func:`run_spmd_mpi` simply runs
+``fn`` on the rank it finds itself on, allgathering the results so the
+caller sees the same "list of per-rank results" contract as the other
+backends.  The conformance suite (``tests/test_comm_backends.py``)
+parametrizes over :func:`~repro.mpisim.backend.available_backends`, so an
+installed mpi4py picks up the whole suite with no further wiring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from .backend import ANY_SOURCE, DEFAULT_TIMEOUT, CommBackend, SpmdError
+from .tracing import CommTracer, payload_bytes
+
+__all__ = ["MPIComm", "run_spmd_mpi"]
+
+
+def _require_mpi():
+    try:
+        from mpi4py import MPI
+    except ImportError as exc:  # pragma: no cover - env without mpi4py
+        raise SpmdError(
+            "comm_backend='mpi' requires mpi4py, which is not installed; "
+            "use 'sim' (threads) or 'mp' (processes) instead"
+        ) from exc
+    return MPI
+
+
+class MPIComm(CommBackend):
+    """CommBackend over an mpi4py communicator (lowercase, pickle API)."""
+
+    def __init__(self, mpi_comm: Any, tracer: CommTracer | None = None):
+        self._mpi = _require_mpi()
+        self._comm = mpi_comm
+        self._tracer = tracer
+        self.rank = mpi_comm.Get_rank()
+        self.size = mpi_comm.Get_size()
+
+    def _src(self, source: int) -> int:
+        return self._mpi.ANY_SOURCE if source == ANY_SOURCE else source
+
+    # -- point-to-point ------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0,
+             kind: str = "p2p") -> None:
+        if self._tracer is not None:
+            self._tracer.record(self.rank, dest, payload_bytes(obj), kind)
+        self._comm.send(obj, dest=dest, tag=tag)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
+        return self._comm.recv(source=self._src(source), tag=tag)
+
+    def tryrecv(
+        self, source: int = ANY_SOURCE, tag: int = 0
+    ) -> tuple[bool, Any]:
+        status = self._mpi.Status()
+        if not self._comm.iprobe(
+            source=self._src(source), tag=tag, status=status
+        ):
+            return False, None
+        return True, self._comm.recv(
+            source=status.Get_source(), tag=status.Get_tag()
+        )
+
+    # -- collectives -----------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._comm.barrier()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if self.rank == root and self._tracer is not None:
+            size = payload_bytes(obj)
+            for dst in range(self.size):
+                if dst != root:
+                    self._tracer.record(root, dst, size, "bcast")
+        return self._comm.bcast(obj, root=root)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        if self._tracer is not None:
+            size = payload_bytes(obj)
+            for dst in range(self.size):
+                if dst != self.rank:
+                    self._tracer.record(self.rank, dst, size, "allgather")
+        return list(self._comm.allgather(obj))
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        if self.rank != root and self._tracer is not None:
+            self._tracer.record(self.rank, root, payload_bytes(obj),
+                                "gather")
+        vals = self._comm.gather(obj, root=root)
+        return list(vals) if self.rank == root else None
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("root must provide size objects")
+            if self._tracer is not None:
+                for dst in range(self.size):
+                    if dst != root:
+                        self._tracer.record(
+                            root, dst, payload_bytes(objs[dst]), "scatter"
+                        )
+        return self._comm.scatter(
+            list(objs) if self.rank == root else None, root=root
+        )
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        if len(objs) != self.size:
+            raise ValueError("alltoall requires size objects")
+        if self._tracer is not None:
+            for dst in range(self.size):
+                if dst != self.rank:
+                    self._tracer.record(
+                        self.rank, dst, payload_bytes(objs[dst]), "alltoall"
+                    )
+        return list(self._comm.alltoall(list(objs)))
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any],
+               root: int = 0) -> Any:
+        if self.rank != root and self._tracer is not None:
+            self._tracer.record(self.rank, root, payload_bytes(obj),
+                                "reduce")
+        vals = self._comm.gather(obj, root=root)
+        if self.rank != root:
+            return None
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = op(acc, v)
+        return acc
+
+    # -- sub-communicators -----------------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "MPIComm":
+        if key is None:
+            key = self.rank
+        return MPIComm(
+            self._comm.Split(color, key), tracer=self._tracer
+        )
+
+
+def run_spmd_mpi(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    tracer: CommTracer | None = None,
+    timeout: float = DEFAULT_TIMEOUT,  # noqa: ARG001 - MPI has no watchdog
+) -> list[Any]:
+    """Run ``fn(comm, *args)`` on the already-running MPI world.
+
+    Every MPI process calls this (the program itself is SPMD under
+    ``mpirun``); each runs ``fn`` on its own rank and the per-rank results
+    are allgathered so every caller returns the full rank-ordered list,
+    matching the ``sim``/``mp`` contract.  ``timeout`` is accepted for
+    signature compatibility; deadlock detection is the MPI runtime's job.
+    """
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    MPI = _require_mpi()
+    world = MPI.COMM_WORLD
+    if world.Get_size() != nranks:
+        raise SpmdError(
+            f"comm_backend='mpi' needs an mpirun launch with world size "
+            f"{nranks}, but this world has {world.Get_size()} process(es) "
+            f"(e.g. mpirun -n {nranks} python ...)"
+        )
+    comm = MPIComm(world, tracer=tracer)
+    try:
+        value = fn(comm, *args)
+        ok = True
+    except BaseException as exc:  # noqa: BLE001 - must propagate any
+        value = (type(exc).__name__, str(exc))
+        ok = False
+    outcomes = world.allgather((ok, value))
+    failures = [
+        (rank, v) for rank, (o, v) in enumerate(outcomes) if not o
+    ]
+    if failures:
+        rank, (ename, etext) = failures[0]
+        cause = SpmdError(f"{ename}: {etext}")
+        raise SpmdError(f"rank {rank} failed: {ename}({etext!r})") from cause
+    return [v for (_o, v) in outcomes]

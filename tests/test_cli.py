@@ -13,6 +13,7 @@ from repro.core.config import (
     ALIGN_BALANCE_MODES,
     ALIGN_ENGINES,
     ALIGN_MODES,
+    COMM_BACKENDS,
     KERNELS,
     WEIGHTS,
     PastisConfig,
@@ -71,6 +72,7 @@ CHOICE_KNOBS = {
     "--kernel": ("kernel", KERNELS),
     "--align-engine": ("align_engine", ALIGN_ENGINES),
     "--align-balance": ("align_balance", ALIGN_BALANCE_MODES),
+    "--comm-backend": ("comm_backend", COMM_BACKENDS),
 }
 
 
@@ -180,6 +182,31 @@ class TestMain:
         main([str(fasta_file), "-o", str(out_p), "--k", "4", "--quiet",
               "--align-engine", "python"])
         assert out_b.read_text() == out_p.read_text()
+
+    def test_comm_backend_mp_oblivious(self, fasta_file, tmp_path):
+        out_sim = tmp_path / "esim.tsv"
+        out_mp = tmp_path / "emp.tsv"
+        main([str(fasta_file), "-o", str(out_sim), "--k", "4", "--quiet",
+              "--ranks", "4", "--comm-backend", "sim"])
+        main([str(fasta_file), "-o", str(out_mp), "--k", "4", "--quiet",
+              "--ranks", "4", "--comm-backend", "mp"])
+        assert out_sim.read_text() == out_mp.read_text()
+
+    def test_comm_backend_env_default(self, monkeypatch):
+        """REPRO_COMM_BACKEND steers the config default (the CI matrix
+        hook), and an explicit flag still wins over it."""
+        monkeypatch.setenv("REPRO_COMM_BACKEND", "mp")
+        args = build_parser().parse_args(["in.fa", "-o", "o.tsv"])
+        assert config_from_args(args).comm_backend == "mp"
+        args = build_parser().parse_args(
+            ["in.fa", "-o", "o.tsv", "--comm-backend", "sim"]
+        )
+        assert config_from_args(args).comm_backend == "sim"
+        monkeypatch.setenv("REPRO_COMM_BACKEND", "bogus")
+        with pytest.raises(ValueError, match="comm_backend"):
+            config_from_args(build_parser().parse_args(
+                ["in.fa", "-o", "o.tsv"]
+            ))
 
     def test_clustering_output(self, fasta_file, tmp_path):
         out = tmp_path / "edges.tsv"

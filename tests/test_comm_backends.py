@@ -1,0 +1,307 @@
+"""Backend-conformance suite for the :class:`CommBackend` interface.
+
+Every registered SPMD backend must implement the same semantics — p2p
+``(source, tag)`` matching in FIFO order, non-blocking handles,
+collectives, ``split`` with its call-count validation, watchdog timeouts
+and failure propagation.  The suite is parametrized over
+:func:`repro.mpisim.backend.available_backends`, so the mpi4py adapter
+picks it up for free when mpi4py is installed (it is skipped unless the
+interpreter was launched by ``mpirun`` with a matching world size).
+
+Every SPMD body is a module-level function so the ``mp`` backend can run
+the suite under the ``spawn`` start method too (fork inherits closures,
+spawn pickles the function by reference).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpisim import ProcessGrid, SpmdError, run_spmd
+from repro.mpisim.backend import (
+    COMM_BACKENDS,
+    available_backends,
+    get_runner,
+)
+from repro.mpisim.tracing import CommTracer
+
+BACKENDS = available_backends()
+
+
+def spmd(backend, nranks, fn, *args, timeout=60.0, tracer=None):
+    if backend == "mpi":
+        from mpi4py import MPI
+
+        if MPI.COMM_WORLD.Get_size() != nranks:
+            pytest.skip(
+                f"mpi backend needs 'mpirun -n {nranks}' to run this"
+            )
+    return run_spmd(
+        nranks, fn, *args, timeout=timeout, tracer=tracer,
+        comm_backend=backend,
+    )
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+# ---------------------------------------------------------------------------
+# SPMD bodies (module-level: picklable under the spawn start method)
+# ---------------------------------------------------------------------------
+
+
+def _ring(comm):
+    """Ring exchange of a (big ndarray, control) payload — the big array
+    rides the shared-memory path under the mp backend."""
+    big = np.arange(50_000, dtype=np.int64) * (comm.rank + 1)
+    nxt = (comm.rank + 1) % comm.size
+    prv = (comm.rank - 1) % comm.size
+    comm.send((big, "ctl", comm.rank), nxt, tag=3)
+    arr, word, src = comm.recv(source=prv, tag=3)
+    assert word == "ctl" and src == prv
+    assert arr.dtype == np.int64 and arr.shape == (50_000,)
+    assert arr[1] == prv + 1
+    return int(arr[2])
+
+
+def _tag_matching(comm):
+    """Messages match on (source, tag) in FIFO order per channel, and
+    ANY_SOURCE receives do not steal a tag-mismatched message."""
+    if comm.rank == 0:
+        comm.send("a1", 1, tag=1)
+        comm.send("b", 1, tag=2)
+        comm.send("a2", 1, tag=1)
+        return None
+    if comm.rank == 1:
+        assert comm.recv(source=0, tag=2) == "b"
+        assert comm.recv(tag=1) == "a1"  # ANY_SOURCE, FIFO within tag
+        assert comm.recv(source=0, tag=1) == "a2"
+    return None
+
+
+def _isend_irecv(comm):
+    reqs = [
+        comm.isend((comm.rank, dst), dst, tag=9)
+        for dst in range(comm.size)
+    ]
+    rreqs = [comm.irecv(source=src, tag=9) for src in range(comm.size)]
+    vals = comm.waitall(rreqs)
+    comm.waitall(reqs)
+    assert vals == [(src, comm.rank) for src in range(comm.size)]
+    done, _ = comm.irecv(tag=12345).test()
+    assert not done  # nothing queued on that tag
+    return None
+
+
+def _tryrecv(comm):
+    """tryrecv never blocks and drains queued matches one per call."""
+    ok, val = comm.tryrecv(tag=5)
+    assert not ok and val is None
+    comm.barrier()
+    if comm.rank == 0:
+        for i in range(3):
+            comm.send(i, 1, tag=5)
+    comm.barrier()
+    if comm.rank == 1:
+        got = []
+        while True:
+            ok, val = comm.tryrecv(source=0, tag=5)
+            if not ok:
+                break
+            got.append(val)
+        assert got == [0, 1, 2]
+    return None
+
+
+def _collectives(comm):
+    root = 1 % comm.size
+    assert comm.bcast(
+        comm.rank if comm.rank == root else None, root=root
+    ) == root
+    assert comm.allgather(comm.rank) == list(range(comm.size))
+    g = comm.gather(comm.rank * 2, root=0)
+    assert (g == [2 * r for r in range(comm.size)]) if comm.rank == 0 \
+        else g is None
+    objs = [f"s{r}" for r in range(comm.size)] if comm.rank == 0 else None
+    assert comm.scatter(objs, root=0) == f"s{comm.rank}"
+    a2a = comm.alltoall([(comm.rank, dst) for dst in range(comm.size)])
+    assert a2a == [(src, comm.rank) for src in range(comm.size)]
+    red = comm.reduce(comm.rank, lambda a, b: a + b, root=0)
+    total = sum(range(comm.size))
+    assert (red == total) if comm.rank == 0 else red is None
+    assert comm.allreduce(comm.rank, lambda a, b: a + b) == total
+    assert comm.exscan(1) == comm.rank
+    comm.barrier()
+    return None
+
+
+def _split_grid(comm):
+    """ProcessGrid (two splits per rank) works on the bare interface, and
+    sub-communicator traffic does not cross between groups."""
+    grid = ProcessGrid.create(comm)
+    assert grid.row_comm.size == grid.q and grid.col_comm.size == grid.q
+    rows = grid.row_comm.allgather(comm.rank)
+    assert rows == [grid.row * grid.q + c for c in range(grid.q)]
+    # p2p inside the row sub-communicator
+    nxt = (grid.col + 1) % grid.q
+    prv = (grid.col - 1) % grid.q
+    grid.row_comm.send(("row", comm.rank), nxt, tag=4)
+    word, world_src = grid.row_comm.recv(source=prv, tag=4)
+    assert word == "row" and world_src == grid.rank_of(grid.row, prv)
+    cols = grid.col_comm.allgather(comm.rank)
+    assert cols == [r * grid.q + grid.col for r in range(grid.q)]
+    return None
+
+
+def _split_reversed_key(comm):
+    """key reverses rank order within the group."""
+    sub = comm.split(color=0, key=-comm.rank)
+    assert sub.rank == comm.size - 1 - comm.rank
+    assert sub.allgather(comm.rank) == list(range(comm.size))[::-1]
+    return None
+
+
+def _split_mismatch(comm):
+    """Unequal split call counts must raise, not silently cross-pair."""
+    comm.split(color=0)
+    if comm.rank == 0:
+        comm.split(color=0)
+    else:
+        comm.barrier()
+    return None
+
+
+def _one_rank_raises(comm):
+    comm.barrier()
+    if comm.rank == comm.size - 1:
+        raise ValueError("kapow")
+    comm.barrier()
+    return comm.rank
+
+
+def _recv_never_satisfied(comm):
+    if comm.rank == 0:
+        comm.recv(source=1, tag=404)
+    return None
+
+
+def _none_result(comm):
+    comm.barrier()
+    return None
+
+
+def _nested_ndarray_payload(comm):
+    """Arrays above and below the shared-memory threshold, nested in
+    containers and non-contiguous, round-trip exactly."""
+    if comm.rank == 0:
+        big = np.arange(40_000, dtype=np.float64).reshape(200, 200)
+        payload = {
+            "big": big,
+            "view": big[::2, ::3],  # non-contiguous
+            "small": np.array([1, 2, 3], dtype=np.int8),
+            "empty": np.empty((0, 4), dtype=np.float32),
+            "meta": ("k", 42),
+        }
+        comm.send(payload, 1, tag=8)
+    elif comm.rank == 1:
+        got = comm.recv(source=0, tag=8)
+        big = np.arange(40_000, dtype=np.float64).reshape(200, 200)
+        np.testing.assert_array_equal(got["big"], big)
+        np.testing.assert_array_equal(got["view"], big[::2, ::3])
+        assert got["small"].tolist() == [1, 2, 3]
+        assert got["empty"].shape == (0, 4)
+        assert got["meta"] == ("k", 42)
+    comm.barrier()
+    return None
+
+
+def _traced(comm):
+    comm.send(np.zeros(100, dtype=np.uint8), (comm.rank + 1) % comm.size,
+              tag=2, kind="rebal")
+    comm.recv(tag=2)
+    comm.allgather(comm.rank)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the conformance matrix
+# ---------------------------------------------------------------------------
+
+
+class TestConformance:
+    def test_ring_exchange(self, backend):
+        out = spmd(backend, 4, _ring)
+        assert out == [2 * ((r - 1) % 4 + 1) for r in range(4)]
+
+    def test_tag_and_source_matching(self, backend):
+        spmd(backend, 2, _tag_matching)
+
+    def test_isend_irecv_waitall(self, backend):
+        spmd(backend, 3, _isend_irecv)
+
+    def test_tryrecv_drains_without_blocking(self, backend):
+        spmd(backend, 2, _tryrecv)
+
+    def test_collectives(self, backend):
+        spmd(backend, 4, _collectives)
+
+    def test_single_rank_world(self, backend):
+        assert spmd(backend, 1, _collectives) == [None]
+
+    def test_process_grid_splits(self, backend):
+        spmd(backend, 4, _split_grid)
+
+    def test_split_key_order(self, backend):
+        spmd(backend, 3, _split_reversed_key)
+
+    def test_split_call_count_mismatch_raises(self, backend):
+        """Satellite regression: ranks disagreeing on the number of
+        split() calls must fail loudly on every backend."""
+        if backend == "mpi":
+            pytest.skip("MPI_Comm_split cannot detect this portably")
+        with pytest.raises(SpmdError, match="split"):
+            spmd(backend, 2, _split_mismatch, timeout=10.0)
+
+    def test_failure_propagates_with_cause(self, backend):
+        with pytest.raises(SpmdError, match="kapow") as exc_info:
+            spmd(backend, 4, _one_rank_raises)
+        assert exc_info.value.__cause__ is not None
+
+    def test_deadlock_times_out(self, backend):
+        if backend == "mpi":
+            pytest.skip("deadlock detection is the MPI runtime's job")
+        with pytest.raises(SpmdError):
+            spmd(backend, 2, _recv_never_satisfied, timeout=0.5)
+
+    def test_none_results_are_not_missing(self, backend):
+        assert spmd(backend, 4, _none_result) == [None] * 4
+
+    def test_ndarray_payload_roundtrip(self, backend):
+        spmd(backend, 2, _nested_ndarray_payload)
+
+    def test_tracer_collects_from_every_rank(self, backend):
+        tracer = CommTracer()
+        spmd(backend, 4, _traced, tracer=tracer)
+        kinds = tracer.messages_by_kind()
+        assert kinds.get("rebal") == 4
+        assert kinds.get("allgather") == 4 * 3
+
+
+class TestRegistry:
+    def test_backend_knob_choices_cover_registry(self):
+        assert set(available_backends()) <= set(COMM_BACKENDS)
+        assert "sim" in available_backends()
+        assert "mp" in available_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown comm backend"):
+            get_runner("carrier-pigeon")
+        with pytest.raises(ValueError, match="unknown comm backend"):
+            run_spmd(2, _none_result, comm_backend="carrier-pigeon")
+
+    def test_runners_resolve_lazily(self):
+        for name in COMM_BACKENDS:
+            assert callable(get_runner(name))

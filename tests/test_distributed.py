@@ -153,8 +153,13 @@ class TestProcessObliviousness:
             return real(tasks, *args, **kwargs)
 
         monkeypatch.setattr(dist, "align_batch", recording)
+        # pinned to the thread backend: the test observes an in-process
+        # implementation detail (a monkeypatched call recorder), which
+        # cannot cross the process boundary of the mp backend
         run_pastis_distributed(
-            data.store, PastisConfig(k=4, weight=weight), nranks=4
+            data.store,
+            PastisConfig(k=4, weight=weight, comm_backend="sim"),
+            nranks=4,
         )
         assert len(seen) == 4  # one batched call per rank (Fig. 11)
         assert seen == [expect_traceback] * 4

@@ -10,10 +10,17 @@ introduced into the sparse stack shows up here first.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.bio.generate import scope_like
-from repro.core.config import PastisConfig
+from repro.core.config import (
+    ALIGN_BALANCE_MODES,
+    ALIGN_ENGINES,
+    KERNELS,
+    PastisConfig,
+)
 from repro.core.distributed import run_pastis_distributed
 from repro.core.graph import SimilarityGraph
 from repro.core.pipeline import pastis_pipeline
@@ -25,6 +32,15 @@ def data():
         n_families=4, members_per_family=(3, 4), length_range=(40, 70),
         divergence=0.15, seed=33,
     )
+
+
+@pytest.fixture(scope="module")
+def golden_default(data):
+    """Single-process serialisation under the default config — the
+    reference every implementation knob must reproduce byte-for-byte."""
+    golden = edge_bytes(pastis_pipeline(data.store, PastisConfig()))
+    assert golden, "pipeline produced no edges — the invariant is vacuous"
+    return golden
 
 
 def edge_bytes(graph: SimilarityGraph) -> bytes:
@@ -45,8 +61,6 @@ CONFIGS = [
 
 @pytest.mark.parametrize("config", CONFIGS)
 def test_golden_oblivious(data, config):
-    from dataclasses import replace
-
     golden = edge_bytes(pastis_pipeline(data.store, config))
     assert golden, "pipeline produced no edges — the invariant is vacuous"
 
@@ -75,6 +89,48 @@ def test_golden_oblivious(data, config):
                 f"{nranks} ranks (align_balance={balance!r}) diverged "
                 f"from golden"
             )
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("engine", ALIGN_ENGINES)
+@pytest.mark.parametrize("balance", ALIGN_BALANCE_MODES)
+def test_golden_comm_backend_oblivious(data, golden_default, kernel,
+                                       engine, balance):
+    """Comm-backend obliviousness: the thread simulator and the
+    process-per-rank backend serialise byte-identically for every
+    kernel × engine × balance combination — swapping the SPMD substrate
+    (threads + shared heap vs processes + shared-memory messaging) must
+    never change the graph."""
+    config = PastisConfig(
+        kernel=kernel, align_engine=engine, align_balance=balance
+    )
+    for backend in ("sim", "mp"):
+        got = edge_bytes(
+            run_pastis_distributed(
+                data.store, replace(config, comm_backend=backend),
+                nranks=4,
+            )
+        )
+        assert got == golden_default, (
+            f"comm_backend={backend!r} (kernel={kernel!r}, "
+            f"engine={engine!r}, balance={balance!r}) diverged from golden"
+        )
+
+
+@pytest.mark.parametrize("nranks", [1, 4, 9])
+def test_golden_comm_backend_rank_sweep(data, golden_default, nranks):
+    """Backend obliviousness across grid sizes, including ranks that
+    parse no sequences (9 ranks) and the degenerate 1-rank world."""
+    for backend in ("sim", "mp"):
+        got = edge_bytes(
+            run_pastis_distributed(
+                data.store, PastisConfig(comm_backend=backend),
+                nranks=nranks,
+            )
+        )
+        assert got == golden_default, (
+            f"comm_backend={backend!r} at {nranks} ranks diverged"
+        )
 
 
 def test_more_ranks_than_sequences():

@@ -301,6 +301,90 @@ class TestSplit:
         assert out == [2, 1, 0]
 
 
+class TestSatelliteFixes:
+    """Regressions for comm-layer bugs fixed while hardening the layer
+    into the swappable :class:`CommBackend` interface."""
+
+    def test_shutdown_joins_share_one_deadline(self):
+        """Worst-case hang detection must be ~timeout, not
+        O(nranks * timeout): the driver used to join each thread with its
+        own ``timeout * 2`` budget sequentially."""
+        import threading
+        import time
+
+        release = threading.Event()
+
+        def body(comm):
+            release.wait(3.0)  # pure compute: abort cannot reach it
+            return None
+
+        t0 = time.perf_counter()
+        try:
+            with pytest.raises(SpmdError, match="did not terminate"):
+                run_spmd(4, body, timeout=0.25)
+        finally:
+            release.set()
+        elapsed = time.perf_counter() - t0
+        # shared deadline: ~timeout*2 + grace; the old sequential joins
+        # needed 4 * (timeout*2) + 4 * grace ≈ 3s
+        assert elapsed < 2.0, f"shutdown joins took {elapsed:.2f}s"
+
+    def test_split_call_count_mismatch_raises(self):
+        """Ranks calling split() an unequal number of times used to pair
+        silently into wrong sub-communicator backends (the registry was
+        keyed by a per-instance counter); now every rank raises."""
+
+        def body(comm):
+            comm.split(color=0)
+            if comm.rank == 0:
+                comm.split(color=0)  # second split meets rank 1's barrier
+            else:
+                comm.barrier()
+
+        with pytest.raises(SpmdError, match="split"):
+            run_spmd(2, body, timeout=5.0)
+
+    def test_recv_rescans_mailbox_after_deadline(self):
+        """A message queued between a timed-out wait and the deadline
+        check must be consumed, not reported as a spurious timeout."""
+        import time
+
+        from repro.mpisim.comm import _Backend
+
+        be = _Backend(2, None, timeout=0.05)
+        rx = SimComm(be, 0)
+
+        def wait_past_deadline(timeout=None):
+            # the waiter wakes after the deadline and the message has
+            # already landed — exactly the race the re-scan closes
+            time.sleep(0.08)
+            be.mailboxes[0].append((1, 5, "late"))
+            return False
+
+        be.cond.wait = wait_past_deadline
+        assert rx.recv(source=1, tag=5) == "late"
+
+    def test_recv_timeout_not_postponed_by_unrelated_traffic(self):
+        """The receive deadline is fixed at call time: a peer spamming
+        other tags used to restart the full timeout on every notify,
+        postponing deadlock detection indefinitely."""
+        import time
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=42)  # never sent
+                return None
+            for i in range(60):
+                comm.send(i, dest=0, tag=1)  # unrelated chatter
+                time.sleep(0.02)
+            return None
+
+        t0 = time.perf_counter()
+        with pytest.raises(SpmdError):
+            run_spmd(2, body, timeout=0.3)
+        assert time.perf_counter() - t0 < 1.2
+
+
 class TestErrors:
     def test_exception_propagates(self):
         def fn(comm):
