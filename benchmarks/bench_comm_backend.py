@@ -18,6 +18,15 @@ shared memory).  Two scenario families:
 * **Full pipeline**: ``run_pastis_distributed`` end-to-end on both
   backends, gated on byte-identical edge lists (cores-independent) with
   the wall clocks reported.
+* **Sanitizer overhead**: the alignment stage again on ``mp``, but with
+  collective traffic inside the timed region (chunked alignment with a
+  progress allgather per chunk, like the stealing executor), run with
+  the runtime comm sanitizer off and on.  Gated: the sanitized stage
+  wall must stay within :data:`SANITIZER_OVERHEAD_GATE` (1.2x) of the
+  bare stage — the fingerprint prelude is one extra small allgather per
+  collective, and this scenario keeps that claim honest.  The gate is
+  recorded as skipped when the bare stage is too fast to time reliably
+  (< :data:`SANITIZER_MIN_WALL_S`).
 
 The alignment-stage scenario also gives :mod:`repro.perfmodel.calibrate`
 its first honest wall-clock target: the calibrated
@@ -62,6 +71,12 @@ SPEEDUP_GATE = 2.0
 #: as skipped below that: with fewer cores than ranks the processes
 #: time-share just like the threads do)
 REQUIRED_CORES = 4
+
+#: acceptance gate — the comm sanitizer may cost at most this factor of
+#: alignment-stage wall clock on mp...
+SANITIZER_OVERHEAD_GATE = 1.20
+#: ...judged only when the bare stage is long enough to time reliably
+SANITIZER_MIN_WALL_S = 0.05
 
 K, XDROP, MODE = 6, 49, "sw"
 
@@ -164,6 +179,82 @@ def run_align_stage(npairs: int, length: int) -> tuple[dict, list[str]]:
 
 
 # ---------------------------------------------------------------------------
+# sanitizer overhead: the same stage with collectives in the timed region
+# ---------------------------------------------------------------------------
+
+
+def _chunked_stage_body(comm, npairs: int, length: int,
+                        nchunks: int = 8):
+    """SPMD body with collective traffic *inside* the timed region:
+    align in cost-chunks with a progress allgather per chunk (the shape
+    of the stealing executor), so the sanitizer's per-collective
+    fingerprint prelude is actually on the clock.
+
+    Returns ``(stage_seconds, score_checksum)``.
+    """
+    tasks = _rank_tasks(comm.rank, npairs, length)
+    chunk = max(1, len(tasks) // nchunks)
+    comm.barrier()
+    t0 = time.perf_counter()
+    results = []
+    for i in range(0, len(tasks), chunk):
+        results += align_batch(tasks[i:i + chunk], mode=MODE, k=K,
+                               xdrop=XDROP)
+        comm.allgather(len(results))
+    comm.barrier()
+    wall = time.perf_counter() - t0
+    return wall, int(sum(r.score for r in results))
+
+
+def run_sanitizer_overhead(npairs: int,
+                           length: int) -> tuple[dict, list[str]]:
+    """Time the chunked alignment stage on ``mp`` with the comm
+    sanitizer off and on; return (stats, failed gates)."""
+    stats: dict = {"npairs_per_rank": npairs, "length": length,
+                   "mode": MODE, "backend": "mp"}
+    walls = {}
+    checksums = {}
+    for sanitize in (False, True):
+        key = "sanitized" if sanitize else "bare"
+        t0 = time.perf_counter()
+        res = run_spmd(
+            NRANKS, _chunked_stage_body, npairs, length,
+            comm_backend="mp", comm_sanitize=sanitize,
+        )
+        total = time.perf_counter() - t0
+        walls[key] = max(w for w, _ in res)
+        checksums[key] = [s for _, s in res]
+        stats[key] = {
+            "stage_walls_s": [round(w, 4) for w, _ in res],
+            "stage_wall_s": round(walls[key], 4),
+            "run_total_s": round(total, 4),
+        }
+    overhead = walls["sanitized"] / max(walls["bare"], 1e-9)
+    stats["sanitizer_overhead"] = round(overhead, 3)
+    stats["gate_active"] = walls["bare"] >= SANITIZER_MIN_WALL_S
+
+    failed = []
+    if checksums["bare"] != checksums["sanitized"]:
+        failed.append(
+            f"sanitizer overhead: score checksums diverged "
+            f"(bare={checksums['bare']}, "
+            f"sanitized={checksums['sanitized']})"
+        )
+    if stats["gate_active"]:
+        if overhead > SANITIZER_OVERHEAD_GATE:
+            failed.append(
+                f"sanitizer overhead: {overhead:.2f}x > "
+                f"{SANITIZER_OVERHEAD_GATE}x on the alignment stage"
+            )
+    else:
+        stats["gate_skipped"] = (
+            f"bare stage only {walls['bare']:.3f}s "
+            f"(< {SANITIZER_MIN_WALL_S}s): too fast to judge a ratio"
+        )
+    return stats, failed
+
+
+# ---------------------------------------------------------------------------
 # full pipeline: byte identity + end-to-end wall clocks
 # ---------------------------------------------------------------------------
 
@@ -217,6 +308,20 @@ def _report_align(s: dict) -> None:
     print(f"mp over sim: {s['speedup_mp_over_sim']:.2f}x ({gate})")
 
 
+def _report_sanitizer(s: dict) -> None:
+    print(f"\n=== sanitizer overhead, mp, {NRANKS} ranks x "
+          f"{s['npairs_per_rank']} pairs of ~{s['length']} aa "
+          f"({s['mode']}) ===")
+    for key in ("bare", "sanitized"):
+        b = s[key]
+        print(f"{key:<10} stage wall {b['stage_wall_s']:>8.3f}s  "
+              f"(per rank {b['stage_walls_s']}; run total "
+              f"{b['run_total_s']}s)")
+    gate = (f"gate <= {SANITIZER_OVERHEAD_GATE}x" if s["gate_active"]
+            else f"gate skipped: {s['gate_skipped']}")
+    print(f"sanitized over bare: {s['sanitizer_overhead']:.2f}x ({gate})")
+
+
 def _report_pipeline(s: dict) -> None:
     print(f"\n=== full pipeline, {s['nseqs']} seqs, {NRANKS} ranks ===")
     print(f"sim {s['sim']['wall_s']}s, mp {s['mp']['wall_s']}s; "
@@ -236,6 +341,18 @@ class TestCommBackendBench:
         ranks on a >= 4-core machine (skipped below that)."""
         stats, failed = run_align_stage(npairs=32, length=120)
         _report_align(stats)
+        assert not failed, "; ".join(failed)
+        if not stats["gate_active"]:
+            import pytest
+
+            pytest.skip(stats["gate_skipped"])
+
+    def test_sanitizer_overhead_gate(self):
+        """Acceptance: the runtime comm sanitizer costs <= 20% of
+        alignment-stage wall clock on mp (skipped when the bare stage is
+        too short to time)."""
+        stats, failed = run_sanitizer_overhead(npairs=32, length=120)
+        _report_sanitizer(stats)
         assert not failed, "; ".join(failed)
         if not stats["gate_active"]:
             import pytest
@@ -269,6 +386,11 @@ def main(argv=None) -> int:
     results["align_stage"] = align_stats
     failed.extend(align_failed)
 
+    san_stats, san_failed = run_sanitizer_overhead(npairs, length)
+    _report_sanitizer(san_stats)
+    results["sanitizer_overhead"] = san_stats
+    failed.extend(san_failed)
+
     nfam, plen = (3, 60) if args.smoke else (8, 100)
     pipe_stats, pipe_failed = run_pipeline(nfam, plen)
     _report_pipeline(pipe_stats)
@@ -281,6 +403,7 @@ def main(argv=None) -> int:
         "cores": available_cores(),
         "speedup_gate": SPEEDUP_GATE,
         "required_cores": REQUIRED_CORES,
+        "sanitizer_overhead_gate": SANITIZER_OVERHEAD_GATE,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "scenarios": results,

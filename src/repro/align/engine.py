@@ -57,6 +57,7 @@ _SW_KEEP_BUDGET = 1 << 24  # int32 H cells retained per traceback chunk
 _ROW_BUDGET = 1 << 21      # lane-row cells processed per wavefront step
 
 
+# spmd: hot-loop-ok (O(lanes) chunk planning, not per-cell work)
 def _chunks_by_budget(order, widths, heights, budget, area=False):
     """Split ``order`` (lane indices) into chunks whose padded size stays
     under ``budget``; ``area=True`` budgets ``height x width`` (retained
@@ -84,6 +85,9 @@ def _chunks_by_budget(order, widths, heights, budget, area=False):
 # ---------------------------------------------------------------------------
 
 
+# spmd: hot-loop-ok (the wavefront design: one Python iteration per DP
+# row with every live lane advanced vectorized, plus O(lanes) padding
+# and emission loops)
 def _sw_chunk(pairs, idxs, scoring, gap_open, gap_extend, traceback, out):
     """One padded-lane chunk of the batched Gotoh DP.
 
@@ -181,6 +185,8 @@ def _sw_chunk(pairs, idxs, scoring, gap_open, gap_extend, traceback, out):
         )
 
 
+# spmd: hot-loop-ok (O(lanes)/O(chunks) driver loops around the
+# vectorized chunk kernel)
 def sw_batch(
     pairs: Sequence[tuple[np.ndarray, np.ndarray]],
     scoring: ScoringMatrix = BLOSUM62,
@@ -218,6 +224,9 @@ _XNEG = -(2**28)  # "dead" for int32 corridor state; sums never overflow
 _PACK = 2**31     # (matches, columns) packed as matches * _PACK + columns
 
 
+# spmd: hot-loop-ok (the wavefront design: one Python iteration per
+# antidiagonal row with every live lane advanced vectorized, plus
+# O(lanes) padding and emission loops)
 def _xdrop_chunk(pairs, idxs, xdrop, scoring, gap_open, gap_extend, out):
     """One lane chunk of the batched x-drop wavefront.
 
@@ -403,6 +412,8 @@ def _xdrop_chunk(pairs, idxs, xdrop, scoring, gap_open, gap_extend, out):
         )
 
 
+# spmd: hot-loop-ok (O(lanes)/O(chunks) driver loops around the
+# vectorized chunk kernel)
 def xdrop_extend_batch(
     pairs: Sequence[tuple[np.ndarray, np.ndarray]],
     xdrop: int,
@@ -436,6 +447,8 @@ def xdrop_extend_batch(
 # ---------------------------------------------------------------------------
 
 
+# spmd: hot-loop-ok (O(tasks) seed-plan assembly loops; the DP cells
+# all burn inside the batched chunk kernels)
 def align_batch_batched(
     tasks,
     mode: str,

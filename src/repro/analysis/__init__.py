@@ -1,0 +1,60 @@
+"""SPMD correctness tooling: static lint pass + runtime comm sanitizer.
+
+The pipeline's output rests on SPMD discipline — every rank executes the
+identical collective sequence and the balance/steal plans are bitwise
+deterministic across ranks — invariants the golden-obliviousness tests
+check only *after the fact*.  This package enforces them *before and
+during* the run:
+
+``repro.analysis.lint``
+    AST-based static checkers over ``src/repro`` (rank-divergent
+    collectives, nondeterminism in deterministic-plan modules, Python
+    hot loops in vectorized kernels, duplicate p2p tags, broad excepts),
+    with an explicit ``# spmd: <code>-ok`` pragma allowlist.  Run as
+    ``python -m repro.analysis.lint``.
+
+``repro.analysis.sanitizer``
+    :class:`~repro.analysis.sanitizer.SanitizedComm`, a
+    :class:`~repro.mpisim.backend.CommBackend` wrapper that fingerprints
+    every collective and verifies lockstep across ranks at runtime,
+    raising a named-ranks :class:`~repro.mpisim.backend.SpmdError`
+    instead of deadlocking; it also accounts unmatched sends and
+    ``mpcomm`` shared-memory segment leaks at teardown.  Enabled by the
+    ``comm_sanitize`` config knob / ``--comm-sanitize`` flag /
+    ``REPRO_COMM_SANITIZE`` environment default.
+
+Submodules are imported lazily so ``repro.analysis.lint`` stays usable
+without pulling in the sanitizer (and vice versa).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SanitizedComm",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "lint_sources",
+    "sanitize_spmd_fn",
+]
+
+_LAZY = {
+    "Violation": "lint",
+    "lint_paths": "lint",
+    "lint_source": "lint",
+    "lint_sources": "lint",
+    "SanitizedComm": "sanitizer",
+    "sanitize_spmd_fn": "sanitizer",
+}
+
+
+def __getattr__(name: str):
+    try:
+        modname = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(f".{modname}", __name__), name)

@@ -1,0 +1,734 @@
+"""Static SPMD correctness lint over the ``repro`` source tree.
+
+Five AST-based checkers, each tied to one way the pipeline's SPMD
+contract has historically been broken (``python -m repro.analysis.lint``
+runs them all and exits non-zero on any unpragma'd violation):
+
+``rank-divergent-collective``
+    A :class:`~repro.mpisim.backend.CommBackend` collective (``bcast``,
+    ``allgather``, ``barrier``, ``allreduce``, ``split``, ...) reachable
+    inside an ``if``/``while`` branch conditioned on ``comm.rank`` or a
+    rank-derived value.  Ranks taking different sides of such a branch
+    execute different collective sequences — the exact divergence that
+    silently crosses values or deadlocks the run.
+
+``plan-nondeterminism``
+    Inside the deterministic-plan modules (``core/balance.py`` and
+    ``perfmodel/``), whose computations must be bitwise identical on all
+    ranks: iteration over a ``set`` (hash order) or a dynamically built
+    ``dict`` (insertion order, which may differ per rank) without a
+    ``sorted()`` wrapper, and calls producing ``random``/``time``-derived
+    values.
+
+``python-hot-loop``
+    A per-element Python ``for``/``while`` loop in the vectorized kernel
+    modules (``sparse/spgemm.py`` numeric/struct paths and
+    ``align/engine.py``).  The intended per-row / per-lane / reference
+    loops carry pragmas; anything new is a performance regression.
+
+``duplicate-p2p-tag``
+    The same literal p2p tag used in more than one module.  Tags are the
+    only thing separating concurrently in-flight protocols (sequence
+    exchange 55, rebalance 77, steal 78/79, ...); a reused tag lets one
+    protocol consume another's messages.
+
+``broad-except``
+    ``except:`` / ``except Exception:`` handlers that neither re-raise
+    nor inspect the exception — the pattern that made tracer bugs vanish
+    silently.
+
+Pragmas
+-------
+Intentional violations are allowlisted with a ``# spmd:`` comment on the
+flagged line, the line above, or the enclosing statement (a pragma on a
+``def`` line covers the whole function; one on an outer loop covers its
+nested loops)::
+
+    def spgemm_hash(...):  # spmd: hot-loop-ok (reference kernel)
+        ...
+    if comm.rank == 0:  # spmd: rank-divergent-ok (guarded symmetric)
+        comm.bcast(...)
+
+Codes: ``rank-divergent-ok``, ``nondeterminism-ok``, ``hot-loop-ok``,
+``tag-ok``, ``broad-except-ok``; a parenthesised reason is encouraged and
+several codes may be comma-separated.  Unknown codes are themselves
+flagged (``unknown-pragma``), so typos cannot silently disable a check.
+
+The module is importable (``lint_source`` / ``lint_sources`` /
+``lint_paths``) so tests can seed synthetic faults without touching the
+tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "CHECK_PRAGMAS",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "lint_sources",
+    "main",
+]
+
+#: the collective op table of :class:`repro.mpisim.backend.CommBackend`
+COLLECTIVE_OPS = frozenset({
+    "barrier", "bcast", "allgather", "gather", "scatter", "alltoall",
+    "reduce", "allreduce", "exscan", "split",
+})
+
+#: attribute names whose value identifies the executing rank
+RANK_ATTRS = frozenset({"rank", "world_rank"})
+
+#: check code -> the pragma that allowlists it
+CHECK_PRAGMAS = {
+    "rank-divergent-collective": "rank-divergent-ok",
+    "plan-nondeterminism": "nondeterminism-ok",
+    "python-hot-loop": "hot-loop-ok",
+    "duplicate-p2p-tag": "tag-ok",
+    "broad-except": "broad-except-ok",
+}
+_PRAGMA_CHECKS = {v: k for k, v in CHECK_PRAGMAS.items()}
+
+#: modules whose computations must be bitwise identical on every rank
+_PLAN_MODULE_MARKERS = ("core/balance.py", "perfmodel/")
+#: modules whose kernels are vectorized (per-element loops are suspect)
+_HOT_MODULE_MARKERS = ("sparse/spgemm.py", "align/engine.py")
+
+_TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+})
+
+_PRAGMA_RE = re.compile(r"#\s*spmd:\s*(.+?)\s*$")
+_TAG_NAME_RE = re.compile(r"(^|_)TAG(_|$)|TAG$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, pointing at a source line."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.code}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# pragma parsing and suppression spans
+# ---------------------------------------------------------------------------
+
+
+def _comment_tokens(source: str) -> Iterator[tuple[int, str]]:
+    """``(line, text)`` of every real comment (tokenized, so ``# spmd:``
+    inside a string or docstring is never mistaken for a pragma)."""
+    readline = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+def _parse_pragmas(
+    path: str, source: str
+) -> tuple[dict[int, set[str]], list[Violation]]:
+    """Map line number -> set of check codes allowlisted on that line."""
+    pragmas: dict[int, set[str]] = {}
+    bad: list[Violation] = []
+    comments = dict(_comment_tokens(source))
+    for lineno, text in comments.items():
+        m = _PRAGMA_RE.search(text)
+        if not m:
+            continue
+        # a pragma inside a comment block also anchors at the block's
+        # last line, so it attaches to the statement right below it even
+        # when the explanation spans several comment lines
+        anchor = lineno
+        while anchor + 1 in comments:
+            anchor += 1
+        # a "(" starts the free-form reason and ends the code list (the
+        # reason may contain anything and span further comment lines), so
+        # several comma-separated codes must all come before the reason
+        head = m.group(1).partition("(")[0]
+        for token in head.split(","):
+            name = token.strip()
+            if not name:
+                continue
+            code = _PRAGMA_CHECKS.get(name)
+            if code is None:
+                bad.append(Violation(
+                    path, lineno, "unknown-pragma",
+                    f"unknown spmd pragma {name!r}; known: "
+                    + ", ".join(sorted(_PRAGMA_CHECKS)),
+                ))
+                continue
+            pragmas.setdefault(lineno, set()).add(code)
+            if anchor != lineno:
+                pragmas.setdefault(anchor, set()).add(code)
+    return pragmas, bad
+
+
+def _suppression_spans(
+    tree: ast.AST, pragmas: dict[int, set[str]]
+) -> list[tuple[str, int, int]]:
+    """A pragma attaches to every statement starting on (or right below)
+    its line and suppresses its check over that statement's whole span —
+    so a ``def``-line pragma covers the function and an outer-loop pragma
+    covers the nested loops."""
+    spans: list[tuple[str, int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.stmt, ast.excepthandler)):
+            continue
+        lineno = node.lineno
+        end = getattr(node, "end_lineno", lineno) or lineno
+        for code in (pragmas.get(lineno, set())
+                     | pragmas.get(lineno - 1, set())):
+            spans.append((code, lineno, end))
+    return spans
+
+
+def _suppressed(
+    code: str,
+    line: int,
+    pragmas: dict[int, set[str]],
+    spans: Sequence[tuple[str, int, int]],
+) -> bool:
+    if code in pragmas.get(line, ()) or code in pragmas.get(line - 1, ()):
+        return True
+    return any(c == code and lo <= line <= hi for c, lo, hi in spans)
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _stmt_bodies(stmt: ast.AST) -> Iterator[list[ast.stmt]]:
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if block:
+            yield block
+    for handler in getattr(stmt, "handlers", None) or []:
+        yield handler.body
+
+
+def _iter_scope(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements of one scope, not descending into nested defs/classes
+    (they are separate scopes with their own rank taint)."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        for block in _stmt_bodies(stmt):
+            yield from _iter_scope(block)
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _receiver_ident(func: ast.Attribute) -> str | None:
+    """Terminal identifier of the receiver of a method call
+    (``grid.comm.bcast`` -> ``comm``, ``self.allgather`` -> ``self``)."""
+    recv = func.value
+    if isinstance(recv, ast.Name):
+        return recv.id
+    if isinstance(recv, ast.Attribute):
+        return recv.attr
+    return None
+
+
+def _looks_like_comm(ident: str | None) -> bool:
+    return ident is not None and ("comm" in ident.lower()
+                                  or ident in ("self", "world"))
+
+
+def _is_rank_derived(expr: ast.AST, tainted: set[str]) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr in RANK_ATTRS:
+            return True
+        if isinstance(node, ast.Name) and node.id in tainted:
+            return True
+    return False
+
+
+def _match_targets(
+    tgt: ast.AST, value: ast.AST
+) -> Iterator[tuple[str, ast.AST]]:
+    if isinstance(tgt, ast.Name):
+        yield tgt.id, value
+    elif isinstance(tgt, (ast.Tuple, ast.List)):
+        elts = None
+        if (isinstance(value, (ast.Tuple, ast.List))
+                and len(value.elts) == len(tgt.elts)):
+            elts = value.elts
+        for i, sub in enumerate(tgt.elts):
+            yield from _match_targets(sub, elts[i] if elts else value)
+
+
+def _collect_rank_taint(body: Sequence[ast.stmt]) -> set[str]:
+    """Names assigned (directly or transitively) from a rank-derived
+    expression within one scope, to a fixpoint."""
+    tainted: set[str] = set()
+    for _ in range(10):
+        changed = False
+        for stmt in _iter_scope(body):
+            pairs: list[tuple[str, ast.AST]] = []
+            if isinstance(stmt, ast.Assign):
+                for tgt in stmt.targets:
+                    pairs.extend(_match_targets(tgt, stmt.value))
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                if getattr(stmt, "value", None) is not None:
+                    pairs.extend(_match_targets(stmt.target, stmt.value))
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                pairs.extend(_match_targets(stmt.target, stmt.iter))
+            for name, sub in pairs:
+                if name not in tainted and _is_rank_derived(sub, tainted):
+                    tainted.add(name)
+                    changed = True
+        if not changed:
+            break
+    return tainted
+
+
+# ---------------------------------------------------------------------------
+# the per-file linter
+# ---------------------------------------------------------------------------
+
+
+def _module_matches(path: str, markers: Iterable[str]) -> bool:
+    norm = "/" + path.replace("\\", "/").lstrip("/")
+    return any(("/" + m) in norm for m in markers)
+
+
+class _FileLint:
+    """All single-file checkers over one parsed module."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.pragmas, self.violations = _parse_pragmas(path, source)
+        self.spans = _suppression_spans(self.tree, self.pragmas)
+        #: (tag value, line, context) literal p2p tag sites for the
+        #: cross-module duplicate check
+        self.tag_sites: list[tuple[int, int, str]] = []
+
+    def _flag(self, code: str, line: int, message: str) -> None:
+        if not _suppressed(code, line, self.pragmas, self.spans):
+            self.violations.append(Violation(self.path, line, code, message))
+
+    def run(self) -> None:
+        self._check_rank_divergence()
+        self._check_broad_except()
+        self._collect_tag_sites()
+        if _module_matches(self.path, _PLAN_MODULE_MARKERS):
+            self._check_plan_nondeterminism()
+        if _module_matches(self.path, _HOT_MODULE_MARKERS):
+            self._check_hot_loops()
+
+    # -- (a) collective divergence ---------------------------------------
+
+    def _scopes(self) -> Iterator[Sequence[ast.stmt]]:
+        yield self.tree.body
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node.body
+
+    def _check_rank_divergence(self) -> None:
+        for body in self._scopes():
+            tainted = _collect_rank_taint(body)
+            for stmt in _iter_scope(body):
+                if not isinstance(stmt, (ast.If, ast.While)):
+                    continue
+                if not _is_rank_derived(stmt.test, tainted):
+                    continue
+                for call, op in self._collectives_under(stmt):
+                    self._flag(
+                        "rank-divergent-collective", call.lineno,
+                        f"collective {op}() reachable only on some ranks "
+                        f"(branch on a rank-derived value at line "
+                        f"{stmt.lineno}); all ranks must execute the "
+                        f"same collective sequence",
+                    )
+
+    def _collectives_under(
+        self, branch: ast.stmt
+    ) -> Iterator[tuple[ast.Call, str]]:
+        for block in _stmt_bodies(branch):
+            for stmt in _iter_scope(block):
+                for node in ast.walk(stmt):
+                    if (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr in COLLECTIVE_OPS
+                            and _looks_like_comm(
+                                _receiver_ident(node.func))):
+                        yield node, node.func.attr
+
+    # -- (b) nondeterminism in plan modules ------------------------------
+
+    def _check_plan_nondeterminism(self) -> None:
+        self._check_unordered_iteration()
+        self._check_entropy_calls()
+
+    def _infer_unordered_types(
+        self, body: Sequence[ast.stmt]
+    ) -> tuple[set[str], set[str]]:
+        set_typed: set[str] = set()
+        dict_typed: set[str] = set()
+        for stmt in _iter_scope(body):
+            targets: list[ast.AST] = []
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            kind = self._value_kind(value)
+            if kind is None:
+                continue
+            for tgt in targets:
+                if isinstance(tgt, ast.Name):
+                    (set_typed if kind == "set" else dict_typed).add(tgt.id)
+        return set_typed, dict_typed
+
+    @staticmethod
+    def _value_kind(value: ast.AST) -> str | None:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return "set"
+        if isinstance(value, (ast.Dict, ast.DictComp)):
+            return "dict"
+        if isinstance(value, ast.Call):
+            name = _dotted_name(value.func) or ""
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in ("set", "frozenset"):
+                return "set"
+            if leaf in ("dict", "defaultdict", "Counter", "OrderedDict"):
+                return "dict"
+        return None
+
+    def _check_unordered_iteration(self) -> None:
+        for body in self._scopes():
+            set_typed, dict_typed = self._infer_unordered_types(body)
+            for stmt in _iter_scope(body):
+                iters: list[ast.AST] = []
+                if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    iters.append(stmt.iter)
+                for node in ast.walk(stmt):
+                    if isinstance(node, (ast.ListComp, ast.SetComp,
+                                         ast.DictComp, ast.GeneratorExp)):
+                        iters.extend(g.iter for g in node.generators)
+                for it in iters:
+                    reason = self._unordered_reason(
+                        it, set_typed, dict_typed
+                    )
+                    if reason:
+                        self._flag(
+                            "plan-nondeterminism", it.lineno,
+                            f"iteration over {reason} in a "
+                            f"deterministic-plan module; wrap in "
+                            f"sorted() so every rank sees one order",
+                        )
+
+    def _unordered_reason(
+        self, expr: ast.AST, set_typed: set[str], dict_typed: set[str]
+    ) -> str | None:
+        # benign wrappers: order-fixing or order-preserving pass-throughs
+        if isinstance(expr, ast.Call):
+            name = _dotted_name(expr.func) or ""
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in ("sorted", "min", "max", "sum", "len"):
+                return None
+            if leaf in ("list", "tuple", "enumerate", "reversed", "iter"):
+                if expr.args:
+                    return self._unordered_reason(
+                        expr.args[0], set_typed, dict_typed
+                    )
+                return None
+            if leaf in ("set", "frozenset"):
+                return f"a {leaf}() value"
+        if isinstance(expr, ast.Set):
+            return "a set literal"
+        if isinstance(expr, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(expr, ast.Name):
+            if expr.id in set_typed:
+                return f"set-typed variable {expr.id!r}"
+            if expr.id in dict_typed:
+                return (f"dict-typed variable {expr.id!r} (per-rank "
+                        f"insertion order)")
+        if (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in ("keys", "values", "items")
+                and isinstance(expr.func.value, ast.Name)
+                and expr.func.value.id in dict_typed):
+            return (f"dict-typed variable "
+                    f"{expr.func.value.id!r}.{expr.func.attr}() "
+                    f"(per-rank insertion order)")
+        return None
+
+    def _check_entropy_calls(self) -> None:
+        time_names: set[str] = set()
+        random_names: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ImportFrom):
+                bucket = {"time": time_names,
+                          "random": random_names}.get(node.module or "")
+                if bucket is not None:
+                    bucket.update(a.asname or a.name for a in node.names)
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            reason = self._entropy_reason(dotted, node,
+                                          time_names, random_names)
+            if reason:
+                self._flag(
+                    "plan-nondeterminism", node.lineno,
+                    f"{reason} in a deterministic-plan module; plans "
+                    f"must compute identically on all ranks",
+                )
+
+    @staticmethod
+    def _entropy_reason(
+        dotted: str | None,
+        call: ast.Call,
+        time_names: set[str],
+        random_names: set[str],
+    ) -> str | None:
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        leaf = dotted.rsplit(".", 1)[-1]
+        if head == "time" and rest in _TIME_FUNCS:
+            return f"wall-clock call {dotted}()"
+        if dotted in time_names and dotted in _TIME_FUNCS:
+            return f"wall-clock call {dotted}()"
+        if head == "random" and rest:
+            return f"stdlib random call {dotted}()"
+        if dotted in random_names:
+            return f"stdlib random call {dotted}()"
+        if ".random." in f".{dotted}.".replace("..", "."):
+            # numpy-style rng: a seeded generator is deterministic, so
+            # only the legacy global functions and an unseeded
+            # default_rng() count as entropy
+            if leaf == "default_rng":
+                return (None if call.args or call.keywords
+                        else "unseeded default_rng()")
+            return f"numpy random call {dotted}()"
+        if dotted in ("os.urandom",) or head == "uuid":
+            return f"entropy source {dotted}()"
+        if dotted.endswith("datetime.now") or dotted.endswith(
+                "datetime.utcnow") or dotted in ("datetime.now",):
+            return f"wall-clock call {dotted}()"
+        return None
+
+    # -- (c) hot loops in vectorized kernels -----------------------------
+
+    def _check_hot_loops(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                kind = ("while" if isinstance(node, ast.While) else "for")
+                self._flag(
+                    "python-hot-loop", node.lineno,
+                    f"python {kind}-loop in a vectorized kernel module; "
+                    f"vectorize it or allowlist with "
+                    f"'# spmd: hot-loop-ok (reason)'",
+                )
+
+    # -- (d) duplicate p2p tags (sites only; matched across files) -------
+
+    def _collect_tag_sites(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Assign):
+                if (len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and _TAG_NAME_RE.search(node.targets[0].id)
+                        and isinstance(node.value, ast.Constant)
+                        and type(node.value.value) is int
+                        and node.value.value != 0):
+                    self.tag_sites.append((
+                        node.value.value, node.lineno,
+                        f"constant {node.targets[0].id}",
+                    ))
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if (kw.arg == "tag"
+                            and isinstance(kw.value, ast.Constant)
+                            and type(kw.value.value) is int
+                            and kw.value.value != 0):
+                        self.tag_sites.append((
+                            kw.value.value, kw.value.lineno,
+                            "tag= argument",
+                        ))
+
+    # -- (e) broad excepts ------------------------------------------------
+
+    def _check_broad_except(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                broad = "bare 'except:'"
+            else:
+                names = set()
+                types = (node.type.elts
+                         if isinstance(node.type, ast.Tuple)
+                         else [node.type])
+                for t in types:
+                    dotted = _dotted_name(t)
+                    if dotted:
+                        names.add(dotted.rsplit(".", 1)[-1])
+                caught = names & {"Exception", "BaseException"}
+                if not caught:
+                    continue
+                broad = f"'except {sorted(caught)[0]}:'"
+            if self._handler_engages(node):
+                continue
+            self._flag(
+                "broad-except", node.lineno,
+                f"{broad} swallows the failure without re-raising or "
+                f"inspecting it; catch a narrow type, or allowlist "
+                f"with '# spmd: broad-except-ok (reason)'",
+            )
+
+    @staticmethod
+    def _handler_engages(handler: ast.ExceptHandler) -> bool:
+        """A broad handler is fine when it re-raises or actually uses the
+        bound exception (logging, wrapping, reporting)."""
+        for stmt in handler.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Raise):
+                    return True
+                if (handler.name is not None
+                        and isinstance(node, ast.Name)
+                        and node.id == handler.name):
+                    return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# batch entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_sources(
+    named_sources: Sequence[tuple[str, str]]
+) -> list[Violation]:
+    """Lint ``(path, source)`` pairs as one batch (the cross-module
+    duplicate-tag check matches across the whole batch)."""
+    lints: list[_FileLint] = []
+    violations: list[Violation] = []
+    for path, source in named_sources:
+        try:
+            fl = _FileLint(path, source)
+        except SyntaxError as exc:
+            violations.append(Violation(
+                path, exc.lineno or 1, "syntax-error", str(exc.msg)
+            ))
+            continue
+        fl.run()
+        lints.append(fl)
+        violations.extend(fl.violations)
+
+    sites: dict[int, list[tuple[_FileLint, int, str]]] = {}
+    for fl in lints:
+        for value, line, ctx in fl.tag_sites:
+            sites.setdefault(value, []).append((fl, line, ctx))
+    for value, occurrences in sorted(sites.items()):
+        files = {fl.path for fl, _line, _ctx in occurrences}
+        if len(files) < 2:
+            continue
+        for fl, line, ctx in occurrences:
+            others = sorted(files - {fl.path})
+            if not _suppressed("duplicate-p2p-tag", line,
+                               fl.pragmas, fl.spans):
+                violations.append(Violation(
+                    fl.path, line, "duplicate-p2p-tag",
+                    f"literal p2p tag {value} ({ctx}) is also used in "
+                    f"{', '.join(others)}; in-flight protocols sharing "
+                    f"a tag can consume each other's messages",
+                ))
+
+    violations.sort(key=lambda v: (v.path, v.line, v.code))
+    return violations
+
+
+def lint_source(source: str, filename: str = "<string>") -> list[Violation]:
+    """Lint one in-memory module (for tests seeding synthetic faults)."""
+    return lint_sources([(filename, source)])
+
+
+def _default_root() -> Path:
+    # .../src/repro/analysis/lint.py -> .../src/repro
+    return Path(__file__).resolve().parents[1]
+
+
+def lint_paths(paths: Sequence[str | Path] | None = None) -> list[Violation]:
+    """Lint files/directories (default: the installed ``repro`` tree),
+    reporting paths relative to the package parent (``repro/...``)."""
+    roots = [Path(p) for p in paths] if paths else [_default_root()]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    base = _default_root().parent
+    named = []
+    for f in files:
+        try:
+            rel = str(f.resolve().relative_to(base))
+        except ValueError:
+            rel = str(f)
+        named.append((rel.replace("\\", "/"), f.read_text(encoding="utf-8")))
+    return lint_sources(named)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="SPMD correctness lint over the repro source tree",
+    )
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to lint (default: the "
+                    "installed repro package)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit violations as a JSON list")
+    args = ap.parse_args(argv)
+
+    violations = lint_paths(args.paths or None)
+    if args.json:
+        print(json.dumps([v.__dict__ for v in violations], indent=2))
+    else:
+        for v in violations:
+            print(v.render())
+        print(f"{len(violations)} violation(s)"
+              if violations else "clean: no violations")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
                    "shared memory — uses all cores), or 'mpi' (mpi4py, "
                    "requires an mpirun launch); byte-identical graphs "
                    "either way (defaults to $REPRO_COMM_BACKEND or 'sim')")
+    p.add_argument("--comm-sanitize", action="store_true", default=None,
+                   help="run the distributed stage under the runtime "
+                   "comm sanitizer: collectives are lockstep-checked "
+                   "across ranks (an SPMD divergence raises a named "
+                   "error instead of deadlocking) and unmatched sends / "
+                   "leaked shared-memory segments are reported at "
+                   "teardown; byte-identical output (defaults to "
+                   "$REPRO_COMM_SANITIZE or off)")
     p.add_argument("--cluster", metavar="TSV", default=None,
                    help="also run Markov Clustering and write "
                    "(id, cluster) rows to this file")
@@ -135,6 +143,9 @@ def config_from_args(args: argparse.Namespace) -> PastisConfig:
         # leave the field to its default otherwise, so the
         # REPRO_COMM_BACKEND environment default keeps working
         extra["comm_backend"] = args.comm_backend
+    if args.comm_sanitize is not None:
+        # same pattern: an absent flag defers to REPRO_COMM_SANITIZE
+        extra["comm_sanitize"] = args.comm_sanitize
     return PastisConfig(
         k=args.k,
         substitutes=args.substitutes,

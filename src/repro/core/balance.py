@@ -379,7 +379,13 @@ def steal_align(
        a drained rank blocks on the steal channel until every peer's
        marker arrived — per-channel FIFO guarantees any stolen tasks from
        a peer are consumed before that peer's marker, so no task is ever
-       stranded.
+       stranded;
+    5. after the loop each rank posts one final ``fin`` on the progress
+       channel and consumes peers' messages until every fin arrived:
+       progress posts trail the done markers (peers keep announcing while
+       aligning their own tail), and the fin is the FIFO high-water mark
+       that lets every rank drain them deterministically — the comm
+       sanitizer audits that no send is left unreceived at teardown.
 
     Returns the ``(task, result)`` pairs aligned on this rank (stolen work
     included — edges stay where they are computed) plus a stats dict with
@@ -407,6 +413,7 @@ def steal_align(
 
     aligned: list[tuple[AlignmentTask, object]] = []
     done_peers: set[int] = set()
+    fin_peers: set[int] = set()
     sent_done = False
     last_posted = float("nan")
     cells_done = 0.0
@@ -458,6 +465,9 @@ def steal_align(
             ok, msg = comm.tryrecv(tag=PROGRESS_TAG)
             if not ok:
                 break
+            if msg[0] == "fin":
+                fin_peers.add(msg[1])
+                continue
             _, src, rem, rate = msg
             remaining[src] = rem
             rates[src] = max(rate, 1e-9)
@@ -514,9 +524,12 @@ def steal_align(
                 item = queue.pop(0)
                 chunk.append(item)
                 chunk_cells += item.cost
+            # spmd: nondeterminism-ok (measured chunk rate: feeds the
+            # re-plan only through explicit progress messages, never a
+            # locally computed plan)
             t0 = time.perf_counter()
             results = align_fn([e.task for e in chunk])
-            dt = time.perf_counter() - t0
+            dt = time.perf_counter() - t0  # spmd: nondeterminism-ok
             aligned.extend(
                 (e.task, r) for e, r in zip(chunk, results)
             )
@@ -537,6 +550,20 @@ def steal_align(
             handle_steal_msg(comm.recv(tag=STEAL_TAG))
             continue
         break
+
+    # -- 5. drain the progress channel -----------------------------------
+    # a done marker only promises "no more task shipments": peers keep
+    # posting progress while they align their own (ineligible) tail, so
+    # messages can still be in flight when the loop above ends.  Each
+    # rank posts one final ``fin`` after its loop, and per-channel FIFO
+    # makes it a high-water mark — once every peer's fin is in, every
+    # progress message ever sent to this rank has been consumed.
+    for p in peers:
+        comm.send(("fin", me), dest=p, tag=PROGRESS_TAG, kind="steal")
+    while len(fin_peers) < len(peers):
+        msg = comm.recv(tag=PROGRESS_TAG)
+        if msg[0] == "fin":
+            fin_peers.add(msg[1])
 
     stats["aligned_cells"] = cells_done
     stats["align_seconds"] = align_seconds

@@ -43,6 +43,15 @@ def _default_comm_backend() -> str:
     return os.environ.get("REPRO_COMM_BACKEND", "sim")
 
 
+def _default_comm_sanitize() -> bool:
+    """``comm_sanitize``'s default honours ``REPRO_COMM_SANITIZE`` (same
+    pattern as ``REPRO_COMM_BACKEND``), so CI can run the whole suite
+    under the runtime comm sanitizer without touching any call site."""
+    return os.environ.get(
+        "REPRO_COMM_SANITIZE", ""
+    ).strip().lower() in ("1", "true", "yes", "on")
+
+
 @dataclass(frozen=True)
 class PastisConfig:
     """Every knob of the pipeline, immutable so runs are reproducible.
@@ -125,6 +134,18 @@ class PastisConfig:
         The graph is byte-identical across backends (a tested invariant).
         The default honours the ``REPRO_COMM_BACKEND`` environment
         variable so CI can matrix the whole suite over backends.
+    comm_sanitize:
+        Run the distributed pipeline under the runtime comm sanitizer
+        (:class:`repro.analysis.sanitizer.SanitizedComm`): every
+        collective is fingerprinted and lockstep-checked across ranks —
+        an SPMD divergence raises a named
+        :class:`~repro.mpisim.backend.SpmdError` instead of deadlocking
+        — and unmatched sends / leaked shared-memory segments are
+        reported at teardown.  Payloads are untouched, so the graph
+        stays byte-identical; the fingerprint exchange costs one extra
+        small allgather per collective.  The default honours the
+        ``REPRO_COMM_SANITIZE`` environment variable (truthy values:
+        ``1``/``true``/``yes``/``on``).
     """
 
     k: int = 6
@@ -146,6 +167,7 @@ class PastisConfig:
     steal_factor: float = 1.5
     steal_chunks: int = 8
     comm_backend: str = field(default_factory=_default_comm_backend)
+    comm_sanitize: bool = field(default_factory=_default_comm_sanitize)
 
     def __post_init__(self) -> None:
         if self.align_mode not in ALIGN_MODES:

@@ -540,6 +540,7 @@ def run_pastis_distributed(
     results: list[RankResult] = run_spmd(
         nranks, pastis_rank, fasta, config, s_triples, tracer=tracer,
         comm_backend=config.comm_backend,
+        comm_sanitize=config.comm_sanitize,
     )
     edges: list[tuple[int, int, float]] = []
     for r in results:

@@ -258,6 +258,7 @@ def run_spmd(
     tracer: Any | None = None,
     timeout: float = DEFAULT_TIMEOUT,
     comm_backend: str = "sim",
+    comm_sanitize: bool = False,
 ) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` ranks of the chosen backend;
     return the per-rank results in rank order.
@@ -268,12 +269,24 @@ def run_spmd(
     across backends.  Any rank raising aborts all ranks and re-raises as
     :class:`SpmdError` carrying the first failure as ``__cause__``.
 
+    ``comm_sanitize`` wraps every rank's communicator in
+    :class:`repro.analysis.sanitizer.SanitizedComm`: collectives are
+    lockstep-checked across ranks (a divergence raises a named
+    :class:`SpmdError` instead of deadlocking) and unmatched sends /
+    leaked shared-memory segments are reported at teardown.  Payloads
+    are untouched, so results stay byte-identical.
+
     Backend-specific caveats: under ``"mp"`` the function, its arguments
     and its result must be picklable when the ``spawn`` start method is
     in use (the default ``fork`` ships them by inheritance, so closures
     work); under ``"mpi"`` the program itself must have been launched by
     ``mpirun`` with a matching world size.
     """
+    if comm_sanitize:
+        # lazy: repro.analysis.sanitizer imports this module
+        from ..analysis.sanitizer import sanitize_spmd_fn
+
+        fn = sanitize_spmd_fn(fn)
     return get_runner(comm_backend)(
         nranks, fn, *args, tracer=tracer, timeout=timeout
     )

@@ -55,7 +55,13 @@ import numpy as np
 from .backend import ANY_SOURCE, DEFAULT_TIMEOUT, CommBackend, SpmdError
 from .tracing import CommTracer, payload_bytes
 
-__all__ = ["MPComm", "SHM_MIN_BYTES", "run_spmd_mp"]
+__all__ = [
+    "MPComm",
+    "SHM_MIN_BYTES",
+    "begin_shm_audit",
+    "end_shm_audit",
+    "run_spmd_mp",
+]
 
 #: ndarrays at least this large travel through shared memory instead of
 #: the queue pipe (below it, the segment setup costs more than the copy)
@@ -73,6 +79,27 @@ _MISSING = object()
 # shared-memory pickling
 # ---------------------------------------------------------------------------
 
+#: per-process shared-memory audit: ``(created names, unlinked names)``
+#: while a comm-sanitizer run is active, else ``None``.  Per-process
+#: module state is per-*rank* state under the process-per-rank backend.
+_shm_audit: tuple[list[str], list[str]] | None = None
+
+
+def begin_shm_audit() -> None:
+    """Start recording segment create/unlink pairs in this process (the
+    comm sanitizer calls this at rank startup)."""
+    global _shm_audit
+    _shm_audit = ([], [])
+
+
+def end_shm_audit() -> tuple[list[str], list[str]]:
+    """Stop the audit and return ``(created, unlinked)`` segment names
+    recorded in this process since :func:`begin_shm_audit`."""
+    global _shm_audit
+    created, unlinked = _shm_audit if _shm_audit is not None else ([], [])
+    _shm_audit = None
+    return created, unlinked
+
 
 def _unregister_segment(name: str) -> None:
     """Detach a created segment from this process's resource tracker:
@@ -82,8 +109,8 @@ def _unregister_segment(name: str) -> None:
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister("/" + name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary
-        pass
+    except Exception:  # spmd: broad-except-ok (tracker internals vary)
+        pass  # pragma: no cover
 
 
 class _ShmPickler(pickle.Pickler):
@@ -111,6 +138,8 @@ class _ShmPickler(pickle.Pickler):
             finally:
                 seg.close()
             _unregister_segment(name)
+            if _shm_audit is not None:
+                _shm_audit[0].append(name)
             return ("ndarray-shm", name, obj.shape, obj.dtype.str)
         return None
 
@@ -133,6 +162,8 @@ class _ShmUnpickler(pickle.Unpickler):
                 seg.unlink()
             except FileNotFoundError:  # pragma: no cover - already swept
                 pass
+        if _shm_audit is not None:
+            _shm_audit[1].append(name)
         return arr
 
 
@@ -613,15 +644,19 @@ def run_spmd_mp(
             if records:
                 with tracer._lock:
                     tracer.records.extend(records)
-    errors.sort(key=lambda e: e[0])
+    def _error_priority(e) -> int:
+        # prefer the original failure over secondary abort noise: a
+        # non-SpmdError beats a primary SpmdError (sanitizer mismatch,
+        # timeout), which beats the "aborted by a failing rank" echo the
+        # surviving ranks raise after the abort flag goes up
+        _rank, _ename, etext, _etb, is_spmd = e
+        if not is_spmd:
+            return 0
+        return 2 if "aborted by a failing rank" in etext else 1
+
+    errors.sort(key=lambda e: (_error_priority(e), e[0]))
     if errors:
         rank, ename, etext, etb, is_spmd = errors[0]
-        if is_spmd and len(errors) > 1:
-            # prefer the original error over secondary abort noise
-            for e in errors:
-                if not e[4]:
-                    rank, ename, etext, etb, is_spmd = e
-                    break
         cause = SpmdError(f"{ename}: {etext}\n{etb}")
         raise SpmdError(f"rank {rank} failed: {ename}({etext!r})") from cause
     missing = [r for r in range(nranks) if results[r] is unfilled]

@@ -32,7 +32,9 @@ def payload_bytes(obj) -> int:
         return sum(int(x.nbytes) for x in obj) + 64
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
+    except (pickle.PicklingError, TypeError, AttributeError):
+        # unpicklable payload (locks, handles, ...): size it as a nominal
+        # envelope rather than crashing the tracer; anything else raises
         return 64
 
 

@@ -40,6 +40,9 @@ from .machine import MachineSpec
 __all__ = ["calibrate_alignment_model", "calibrate_local_machine"]
 
 
+# spmd: nondeterminism-ok (wall-clock measurement is the whole point:
+# calibration runs once per process and distributed callers measure on
+# rank 0 and bcast the fitted model)
 def _time(fn, *args, repeat: int = 3) -> float:
     best = float("inf")
     for _ in range(repeat):

@@ -62,6 +62,7 @@ def _check_dims(a: CSRMatrix, b: CSRMatrix) -> None:
         )
 
 
+# spmd: hot-loop-ok (object-dtype boxing; only reference paths call it)
 def _emit(a: CSRMatrix, b: CSRMatrix, rows, cols, vals) -> COOMatrix:
     out_vals = np.empty(len(vals), dtype=object)
     for i, v in enumerate(vals):
@@ -70,6 +71,8 @@ def _emit(a: CSRMatrix, b: CSRMatrix, rows, cols, vals) -> COOMatrix:
                      np.asarray(cols, dtype=np.int64), out_vals)
 
 
+# spmd: hot-loop-ok (Gustavson reference kernel: per-element by design,
+# cross-validates the vectorized fast paths)
 def spgemm_hash(
     a: CSRMatrix, b: CSRMatrix, semiring: Semiring = ARITHMETIC
 ) -> COOMatrix:
@@ -100,6 +103,8 @@ def spgemm_hash(
     return _emit(a, b, rows, cols, vals)
 
 
+# spmd: hot-loop-ok (heap-merge reference kernel: per-element by design,
+# cross-validates the vectorized fast paths)
 def spgemm_heap(
     a: CSRMatrix, b: CSRMatrix, semiring: Semiring = ARITHMETIC
 ) -> COOMatrix:
@@ -444,6 +449,8 @@ def spgemm_coo(
     vals: list[Any] = []
     ai = bi = 0
     na, nb = len(a_keys), len(b_keys)
+    # spmd: hot-loop-ok (generic-semiring fallback join; the numeric and
+    # struct fast paths dispatched above never reach these loops)
     while ai < na and bi < nb:
         ka, kb = a_keys[ai], b_keys[bi]
         if ka < kb:
@@ -469,7 +476,7 @@ def spgemm_coo(
                 vals.append(mul(av, b.vals[eb]))
         ai, bi = a_end, b_end
     out_vals = np.empty(len(vals), dtype=object)
-    for i, v in enumerate(vals):
+    for i, v in enumerate(vals):  # spmd: hot-loop-ok (object boxing)
         out_vals[i] = v
     raw = COOMatrix(a.nrows, b.ncols, rows or np.empty(0, dtype=np.int64),
                     cols or np.empty(0, dtype=np.int64), out_vals)
