@@ -1,17 +1,31 @@
-"""SPMD correctness tooling: static lint pass + runtime comm sanitizer.
+"""SPMD correctness tooling: static lint + whole-program verifier +
+runtime comm sanitizer.
 
 The pipeline's output rests on SPMD discipline — every rank executes the
 identical collective sequence and the balance/steal plans are bitwise
 deterministic across ranks — invariants the golden-obliviousness tests
 check only *after the fact*.  This package enforces them *before and
-during* the run:
+during* the run, with one shared vocabulary of finding codes
+(:mod:`repro.analysis.report`, rendered in ``docs/analysis.md``):
 
 ``repro.analysis.lint``
-    AST-based static checkers over ``src/repro`` (rank-divergent
+    Fast per-file AST checkers over ``src/repro`` (rank-divergent
     collectives, nondeterminism in deterministic-plan modules, Python
-    hot loops in vectorized kernels, duplicate p2p tags, broad excepts),
-    with an explicit ``# spmd: <code>-ok`` pragma allowlist.  Run as
-    ``python -m repro.analysis.lint``.
+    hot loops in vectorized kernels, duplicate p2p tags — with
+    module-constant resolution — and broad excepts), with an explicit
+    ``# spmd: <code>-ok`` pragma allowlist and stale-pragma detection.
+    Run as ``python -m repro.analysis.lint``.
+
+``repro.analysis.verify``
+    The whole-program verifier: a project index + call graph
+    (``callgraph``), an interprocedural rank-taint fixpoint
+    (``dataflow``), and a static communication-schedule extractor
+    (``schedule``) that checks collective-sequence uniformity across
+    rank-tainted control flow and matches p2p send/recv sites by tag per
+    SPMD entry point — catching divergence hidden behind helper calls
+    that per-file lint cannot see.  Supports ``--format json`` and a
+    committed-baseline diff mode.  Run as
+    ``python -m repro.analysis.verify``.
 
 ``repro.analysis.sanitizer``
     :class:`~repro.analysis.sanitizer.SanitizedComm`, a
@@ -30,12 +44,17 @@ without pulling in the sanitizer (and vice versa).
 from __future__ import annotations
 
 __all__ = [
+    "FINDING_CODES",
+    "Finding",
     "SanitizedComm",
     "Violation",
     "lint_paths",
     "lint_source",
     "lint_sources",
     "sanitize_spmd_fn",
+    "verify_paths",
+    "verify_source",
+    "verify_sources",
 ]
 
 _LAZY = {
@@ -43,6 +62,11 @@ _LAZY = {
     "lint_paths": "lint",
     "lint_source": "lint",
     "lint_sources": "lint",
+    "FINDING_CODES": "report",
+    "Finding": "report",
+    "verify_paths": "verify",
+    "verify_source": "verify",
+    "verify_sources": "verify",
     "SanitizedComm": "sanitizer",
     "sanitize_spmd_fn": "sanitizer",
 }

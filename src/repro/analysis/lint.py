@@ -10,7 +10,9 @@ runs them all and exits non-zero on any unpragma'd violation):
     inside an ``if``/``while`` branch conditioned on ``comm.rank`` or a
     rank-derived value.  Ranks taking different sides of such a branch
     execute different collective sequences — the exact divergence that
-    silently crosses values or deadlocks the run.
+    silently crosses values or deadlocks the run.  (This check is
+    per-scope; its interprocedural generalisation lives in
+    ``python -m repro.analysis.verify``.)
 
 ``plan-nondeterminism``
     Inside the deterministic-plan modules (``core/balance.py`` and
@@ -27,10 +29,13 @@ runs them all and exits non-zero on any unpragma'd violation):
     loops carry pragmas; anything new is a performance regression.
 
 ``duplicate-p2p-tag``
-    The same literal p2p tag used in more than one module.  Tags are the
-    only thing separating concurrently in-flight protocols (sequence
-    exchange 55, rebalance 77, steal 78/79, ...); a reused tag lets one
-    protocol consume another's messages.
+    The same p2p tag value — literal, or a module-level integer constant
+    resolved through imports — bound to *different* protocols in
+    different modules.  Tags are the only thing separating concurrently
+    in-flight protocols (sequence exchange 55, rebalance 77, steal
+    78/79, ...); a reused tag lets one protocol consume another's
+    messages.  Two modules sharing one imported constant are one
+    protocol and are never flagged.
 
 ``broad-except``
     ``except:`` / ``except Exception:`` handlers that neither re-raise
@@ -49,14 +54,22 @@ nested loops)::
     if comm.rank == 0:  # spmd: rank-divergent-ok (guarded symmetric)
         comm.bcast(...)
 
-Codes: ``rank-divergent-ok``, ``nondeterminism-ok``, ``hot-loop-ok``,
-``tag-ok``, ``broad-except-ok``; a parenthesised reason is encouraged and
-several codes may be comma-separated.  Unknown codes are themselves
-flagged (``unknown-pragma``), so typos cannot silently disable a check.
+The full pragma vocabulary is the shared finding-code table in
+:mod:`repro.analysis.report` (rendered in ``docs/analysis.md``); a
+parenthesised reason is encouraged and several codes may be
+comma-separated.  Unknown codes are themselves flagged
+(``unknown-pragma``), and a pragma that no longer suppresses anything is
+flagged too (``unused-pragma``), so typos cannot silently disable a
+check and stale suppressions cannot rot in place.  Lint reports unused
+pragmas only for the codes it alone can emit; pragmas for codes shared
+with the verifier are audited by ``repro.analysis.verify``, which sees
+both tools' suppressions.
 
 The module is importable (``lint_source`` / ``lint_sources`` /
 ``lint_paths``) so tests can seed synthetic faults without touching the
-tree.
+tree.  ``--format json`` emits the same ``repro.analysis.findings/v1``
+document as the verifier; the shared exit-code contract is ``0`` clean,
+``1`` findings, ``2`` usage error.
 """
 
 from __future__ import annotations
@@ -68,18 +81,24 @@ import json
 import re
 import sys
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from .report import FINDING_CODES, Finding, pragma_map, render_json
+
 __all__ = [
     "CHECK_PRAGMAS",
+    "PragmaIndex",
     "Violation",
     "lint_paths",
     "lint_source",
     "lint_sources",
     "main",
 ]
+
+#: lint findings are plain findings of the shared reporting layer
+Violation = Finding
 
 #: the collective op table of :class:`repro.mpisim.backend.CommBackend`
 COLLECTIVE_OPS = frozenset({
@@ -90,15 +109,16 @@ COLLECTIVE_OPS = frozenset({
 #: attribute names whose value identifies the executing rank
 RANK_ATTRS = frozenset({"rank", "world_rank"})
 
-#: check code -> the pragma that allowlists it
-CHECK_PRAGMAS = {
-    "rank-divergent-collective": "rank-divergent-ok",
-    "plan-nondeterminism": "nondeterminism-ok",
-    "python-hot-loop": "hot-loop-ok",
-    "duplicate-p2p-tag": "tag-ok",
-    "broad-except": "broad-except-ok",
-}
-_PRAGMA_CHECKS = {v: k for k, v in CHECK_PRAGMAS.items()}
+#: check code -> allowlisting pragma, for the codes lint can emit
+CHECK_PRAGMAS = pragma_map(("lint",))
+#: pragma -> code over the *whole* shared vocabulary: verifier-only
+#: pragmas parse fine here (they are not unknown, just not lint's)
+_PRAGMA_CHECKS = {p: c for c, p in pragma_map().items()}
+#: codes only lint can emit — the ones whose unused pragmas lint owns
+_LINT_SOLE_CODES = frozenset(
+    code for code, info in FINDING_CODES.items()
+    if info.tools == ("lint",)
+)
 
 #: modules whose computations must be bitwise identical on every rank
 _PLAN_MODULE_MARKERS = ("core/balance.py", "perfmodel/")
@@ -114,21 +134,8 @@ _PRAGMA_RE = re.compile(r"#\s*spmd:\s*(.+?)\s*$")
 _TAG_NAME_RE = re.compile(r"(^|_)TAG(_|$)|TAG$", re.IGNORECASE)
 
 
-@dataclass(frozen=True)
-class Violation:
-    """One lint finding, pointing at a source line."""
-
-    path: str
-    line: int
-    code: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: [{self.code}] {self.message}"
-
-
 # ---------------------------------------------------------------------------
-# pragma parsing and suppression spans
+# pragma parsing, suppression spans, and usage tracking
 # ---------------------------------------------------------------------------
 
 
@@ -144,73 +151,115 @@ def _comment_tokens(source: str) -> Iterator[tuple[int, str]]:
         return
 
 
-def _parse_pragmas(
-    path: str, source: str
-) -> tuple[dict[int, set[str]], list[Violation]]:
-    """Map line number -> set of check codes allowlisted on that line."""
-    pragmas: dict[int, set[str]] = {}
-    bad: list[Violation] = []
-    comments = dict(_comment_tokens(source))
-    for lineno, text in comments.items():
-        m = _PRAGMA_RE.search(text)
-        if not m:
-            continue
-        # a pragma inside a comment block also anchors at the block's
-        # last line, so it attaches to the statement right below it even
-        # when the explanation spans several comment lines
-        anchor = lineno
-        while anchor + 1 in comments:
-            anchor += 1
-        # a "(" starts the free-form reason and ends the code list (the
-        # reason may contain anything and span further comment lines), so
-        # several comma-separated codes must all come before the reason
-        head = m.group(1).partition("(")[0]
-        for token in head.split(","):
-            name = token.strip()
-            if not name:
+@dataclass
+class _PragmaEntry:
+    """One ``# spmd: <code>`` declaration and whether anything used it."""
+
+    code: str
+    decl_line: int
+    anchor_lines: frozenset[int]
+    used: bool = False
+
+
+class PragmaIndex:
+    """Parsed pragmas of one module, with suppression-usage tracking.
+
+    Both lint and the verifier suppress through one index per file, so a
+    pragma consumed by either tool counts as used and ``unused-pragma``
+    only fires on suppressions that no finding of any tool needs.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.AST):
+        self.path = path
+        self.entries: list[_PragmaEntry] = []
+        #: unknown-pragma findings raised while parsing
+        self.bad: list[Finding] = []
+        self._parse(source)
+        by_line: dict[int, dict[str, _PragmaEntry]] = {}
+        for e in self.entries:
+            for ln in e.anchor_lines:
+                by_line.setdefault(ln, {})[e.code] = e
+        self._by_line = by_line
+        #: (entry, span start, span end): a pragma on a statement's
+        #: first line (or right above it) covers the whole statement, so
+        #: a ``def``-line pragma covers the function and an outer-loop
+        #: pragma covers its nested loops
+        self._spans: list[tuple[_PragmaEntry, int, int]] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.stmt, ast.excepthandler)):
                 continue
-            code = _PRAGMA_CHECKS.get(name)
-            if code is None:
-                bad.append(Violation(
-                    path, lineno, "unknown-pragma",
-                    f"unknown spmd pragma {name!r}; known: "
-                    + ", ".join(sorted(_PRAGMA_CHECKS)),
+            lineno = node.lineno
+            end = getattr(node, "end_lineno", lineno) or lineno
+            for ln in (lineno, lineno - 1):
+                for entry in by_line.get(ln, {}).values():
+                    self._spans.append((entry, lineno, end))
+
+    def _parse(self, source: str) -> None:
+        comments = dict(_comment_tokens(source))
+        for lineno, text in comments.items():
+            m = _PRAGMA_RE.search(text)
+            if not m:
+                continue
+            # a pragma inside a comment block also anchors at the
+            # block's last line, so it attaches to the statement right
+            # below it even when the explanation spans several lines
+            anchor = lineno
+            while anchor + 1 in comments:
+                anchor += 1
+            # a "(" starts the free-form reason and ends the code list
+            head = m.group(1).partition("(")[0]
+            for token in head.split(","):
+                name = token.strip()
+                if not name:
+                    continue
+                code = _PRAGMA_CHECKS.get(name)
+                if code is None:
+                    self.bad.append(Finding(
+                        self.path, lineno, "unknown-pragma",
+                        f"unknown spmd pragma {name!r}; known: "
+                        + ", ".join(sorted(_PRAGMA_CHECKS)),
+                    ))
+                    continue
+                self.entries.append(_PragmaEntry(
+                    code, lineno, frozenset({lineno, anchor}),
                 ))
+
+    def suppressed(self, code: str, line: int) -> bool:
+        """Is a ``code`` finding at ``line`` allowlisted?  Marks every
+        covering pragma as used."""
+        hit = False
+        for ln in (line, line - 1):
+            entry = self._by_line.get(ln, {}).get(code)
+            if entry is not None:
+                entry.used = True
+                hit = True
+        for entry, lo, hi in self._spans:
+            if entry.code == code and lo <= line <= hi:
+                entry.used = True
+                hit = True
+        return hit
+
+    def unused_findings(self, owned_codes: Iterable[str]) -> list[Finding]:
+        """``unused-pragma`` findings for still-unused pragmas whose
+        code is in ``owned_codes`` (deduplicated per declaration)."""
+        owned = set(owned_codes)
+        pragma_of = pragma_map()
+        seen: set[tuple[int, str]] = set()
+        out: list[Finding] = []
+        for e in self.entries:
+            if e.used or e.code not in owned:
                 continue
-            pragmas.setdefault(lineno, set()).add(code)
-            if anchor != lineno:
-                pragmas.setdefault(anchor, set()).add(code)
-    return pragmas, bad
-
-
-def _suppression_spans(
-    tree: ast.AST, pragmas: dict[int, set[str]]
-) -> list[tuple[str, int, int]]:
-    """A pragma attaches to every statement starting on (or right below)
-    its line and suppresses its check over that statement's whole span —
-    so a ``def``-line pragma covers the function and an outer-loop pragma
-    covers the nested loops."""
-    spans: list[tuple[str, int, int]] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, (ast.stmt, ast.excepthandler)):
-            continue
-        lineno = node.lineno
-        end = getattr(node, "end_lineno", lineno) or lineno
-        for code in (pragmas.get(lineno, set())
-                     | pragmas.get(lineno - 1, set())):
-            spans.append((code, lineno, end))
-    return spans
-
-
-def _suppressed(
-    code: str,
-    line: int,
-    pragmas: dict[int, set[str]],
-    spans: Sequence[tuple[str, int, int]],
-) -> bool:
-    if code in pragmas.get(line, ()) or code in pragmas.get(line - 1, ()):
-        return True
-    return any(c == code and lo <= line <= hi for c, lo, hi in spans)
+            key = (e.decl_line, e.code)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(Finding(
+                self.path, e.decl_line, "unused-pragma",
+                f"'# spmd: {pragma_of[e.code]}' suppresses no "
+                f"{e.code} finding; remove the stale pragma or "
+                f"restore the code it described",
+            ))
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -322,6 +371,28 @@ def _module_matches(path: str, markers: Iterable[str]) -> bool:
     return any(("/" + m) in norm for m in markers)
 
 
+def _module_name_of(path: str) -> str:
+    # mirrors callgraph._module_name, incl. the repro-component anchor
+    # for out-of-tree paths, so tag identities agree across the tools
+    parts = path.replace("\\", "/").removesuffix(".py").split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    return ".".join(p for p in parts if p)
+
+
+@dataclass
+class _TagUse:
+    """One ``tag=`` site, before cross-file constant resolution."""
+
+    kind: str          # "literal" | "name" | "attr"
+    line: int
+    value: int | None = None   # literal value, if kind == "literal"
+    name: str = ""             # constant or attribute name
+    base: str = ""             # receiver name, if kind == "attr"
+
+
 class _FileLint:
     """All single-file checkers over one parsed module."""
 
@@ -329,14 +400,20 @@ class _FileLint:
         self.path = path
         self.source = source
         self.tree = ast.parse(source, filename=path)
-        self.pragmas, self.violations = _parse_pragmas(path, source)
-        self.spans = _suppression_spans(self.tree, self.pragmas)
-        #: (tag value, line, context) literal p2p tag sites for the
-        #: cross-module duplicate check
-        self.tag_sites: list[tuple[int, int, str]] = []
+        self.pragmas = PragmaIndex(path, source, self.tree)
+        self.violations: list[Violation] = list(self.pragmas.bad)
+        #: (tag value, line, context, identity) of TAG-named constant
+        #: definitions (identity = defining module + name)
+        self.tag_defs: list[tuple[int, int, str, tuple]] = []
+        #: unresolved tag= argument sites for the batch phase
+        self.tag_uses: list[_TagUse] = []
+        #: module-level integer constants (for cross-file resolution)
+        self.constants: dict[str, int] = {}
+        #: import bindings name -> dotted target
+        self.imports: dict[str, str] = {}
 
     def _flag(self, code: str, line: int, message: str) -> None:
-        if not _suppressed(code, line, self.pragmas, self.spans):
+        if not self.pragmas.suppressed(code, line):
             self.violations.append(Violation(self.path, line, code, message))
 
     def run(self) -> None:
@@ -561,27 +638,64 @@ class _FileLint:
     # -- (d) duplicate p2p tags (sites only; matched across files) -------
 
     def _collect_tag_sites(self) -> None:
-        for node in ast.walk(self.tree):
-            if isinstance(node, ast.Assign):
-                if (len(node.targets) == 1
-                        and isinstance(node.targets[0], ast.Name)
-                        and _TAG_NAME_RE.search(node.targets[0].id)
-                        and isinstance(node.value, ast.Constant)
-                        and type(node.value.value) is int
-                        and node.value.value != 0):
-                    self.tag_sites.append((
-                        node.value.value, node.lineno,
-                        f"constant {node.targets[0].id}",
+        module = _module_name_of(self.path)
+        for stmt in self.tree.body:
+            if (isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and type(stmt.value.value) is int):
+                name = stmt.targets[0].id
+                self.constants[name] = stmt.value.value
+                if _TAG_NAME_RE.search(name) and stmt.value.value != 0:
+                    self.tag_defs.append((
+                        stmt.value.value, stmt.lineno,
+                        f"constant {name}", (module, name),
                     ))
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.partition(".")[0]
+                    self.imports[bound] = (
+                        alias.name if alias.asname
+                        else alias.name.partition(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    parts = module.split(".")
+                    if not self.path.endswith("__init__.py"):
+                        parts = parts[:-1]
+                    climb = node.level - 1
+                    if climb:
+                        parts = parts[: len(parts) - climb]
+                    pkg = ".".join(parts)
+                    base = f"{pkg}.{base}" if base and pkg else pkg or base
+                for alias in node.names:
+                    if alias.name != "*":
+                        bound = alias.asname or alias.name
+                        self.imports[bound] = (
+                            f"{base}.{alias.name}" if base else alias.name
+                        )
             elif isinstance(node, ast.Call):
                 for kw in node.keywords:
-                    if (kw.arg == "tag"
-                            and isinstance(kw.value, ast.Constant)
-                            and type(kw.value.value) is int
-                            and kw.value.value != 0):
-                        self.tag_sites.append((
-                            kw.value.value, kw.value.lineno,
-                            "tag= argument",
+                    if kw.arg != "tag":
+                        continue
+                    v = kw.value
+                    if (isinstance(v, ast.Constant)
+                            and type(v.value) is int and v.value != 0):
+                        self.tag_uses.append(_TagUse(
+                            "literal", v.lineno, value=v.value,
+                        ))
+                    elif isinstance(v, ast.Name):
+                        self.tag_uses.append(_TagUse(
+                            "name", v.lineno, name=v.id,
+                        ))
+                    elif (isinstance(v, ast.Attribute)
+                            and isinstance(v.value, ast.Name)):
+                        self.tag_uses.append(_TagUse(
+                            "attr", v.lineno, name=v.attr,
+                            base=v.value.id,
                         ))
 
     # -- (e) broad excepts ------------------------------------------------
@@ -634,11 +748,84 @@ class _FileLint:
 # ---------------------------------------------------------------------------
 
 
-def lint_sources(
+def _resolve_tag_use(
+    fl: _FileLint, use: _TagUse,
+    module_constants: dict[str, dict[str, int]],
+) -> tuple[int, tuple, str] | None:
+    """``(value, identity, context)`` of a tag site, following imports;
+    ``None`` for tags the batch cannot resolve (no false positives).
+    The identity is the *defining* module + constant name, so N modules
+    sharing one imported constant are one protocol, not a collision."""
+    if use.kind == "literal":
+        return use.value, ("literal", fl.path), "tag= argument"
+    if use.kind == "name":
+        module = _module_name_of(fl.path)
+        if use.name in fl.constants:
+            return (fl.constants[use.name], (module, use.name),
+                    f"tag={use.name}")
+        dotted = fl.imports.get(use.name)
+        if dotted and "." in dotted:
+            owner, cname = dotted.rsplit(".", 1)
+            owned = module_constants.get(owner, {})
+            if cname in owned:
+                return owned[cname], (owner, cname), f"tag={use.name}"
+        return None
+    # attribute use: mod.NAME through an imported module
+    owner = fl.imports.get(use.base)
+    if owner is not None:
+        owned = module_constants.get(owner, {})
+        if use.name in owned:
+            return (owned[use.name], (owner, use.name),
+                    f"tag={use.base}.{use.name}")
+    return None
+
+
+def _duplicate_tag_violations(lints: Sequence[_FileLint]) -> list[Violation]:
+    """Cross-file duplicate-tag check over resolved tag sites."""
+    module_constants = {
+        _module_name_of(fl.path): fl.constants for fl in lints
+    }
+    #: value -> [(file, line, context, identity)]
+    sites: dict[int, list[tuple[_FileLint, int, str, tuple]]] = {}
+    for fl in lints:
+        for value, line, ctx, identity in fl.tag_defs:
+            sites.setdefault(value, []).append((fl, line, ctx, identity))
+        for use in fl.tag_uses:
+            resolved = _resolve_tag_use(fl, use, module_constants)
+            if resolved is not None and resolved[0] != 0:
+                value, identity, ctx = resolved
+                sites.setdefault(value, []).append(
+                    (fl, use.line, ctx, identity)
+                )
+    violations: list[Violation] = []
+    for value, occurrences in sorted(sites.items()):
+        files = {fl.path for fl, _l, _c, _i in occurrences}
+        identities = {i for _fl, _l, _c, i in occurrences}
+        # one constant imported everywhere is one protocol; a collision
+        # needs distinct definitions spanning distinct modules
+        if len(files) < 2 or len(identities) < 2:
+            continue
+        for fl, line, ctx, _identity in occurrences:
+            others = sorted(files - {fl.path})
+            if not others:
+                continue
+            if not fl.pragmas.suppressed("duplicate-p2p-tag", line):
+                violations.append(Violation(
+                    fl.path, line, "duplicate-p2p-tag",
+                    f"p2p tag {value} ({ctx}) is also used in "
+                    f"{', '.join(others)}; in-flight protocols sharing "
+                    f"a tag can consume each other's messages",
+                ))
+    return violations
+
+
+def run_core_lint(
     named_sources: Sequence[tuple[str, str]]
-) -> list[Violation]:
-    """Lint ``(path, source)`` pairs as one batch (the cross-module
-    duplicate-tag check matches across the whole batch)."""
+) -> tuple[list[Violation], list[_FileLint]]:
+    """All lint checks except unused-pragma reporting, returning the
+    per-file linters so a caller (the verifier) can thread further
+    suppressions through the same :class:`PragmaIndex` objects before
+    auditing pragma usage."""
     lints: list[_FileLint] = []
     violations: list[Violation] = []
     for path, source in named_sources:
@@ -652,26 +839,18 @@ def lint_sources(
         fl.run()
         lints.append(fl)
         violations.extend(fl.violations)
+    violations.extend(_duplicate_tag_violations(lints))
+    return violations, lints
 
-    sites: dict[int, list[tuple[_FileLint, int, str]]] = {}
+
+def lint_sources(
+    named_sources: Sequence[tuple[str, str]]
+) -> list[Violation]:
+    """Lint ``(path, source)`` pairs as one batch (the cross-module
+    duplicate-tag check matches across the whole batch)."""
+    violations, lints = run_core_lint(named_sources)
     for fl in lints:
-        for value, line, ctx in fl.tag_sites:
-            sites.setdefault(value, []).append((fl, line, ctx))
-    for value, occurrences in sorted(sites.items()):
-        files = {fl.path for fl, _line, _ctx in occurrences}
-        if len(files) < 2:
-            continue
-        for fl, line, ctx in occurrences:
-            others = sorted(files - {fl.path})
-            if not _suppressed("duplicate-p2p-tag", line,
-                               fl.pragmas, fl.spans):
-                violations.append(Violation(
-                    fl.path, line, "duplicate-p2p-tag",
-                    f"literal p2p tag {value} ({ctx}) is also used in "
-                    f"{', '.join(others)}; in-flight protocols sharing "
-                    f"a tag can consume each other's messages",
-                ))
-
+        violations.extend(fl.pragmas.unused_findings(_LINT_SOLE_CODES))
     violations.sort(key=lambda v: (v.path, v.line, v.code))
     return violations
 
@@ -686,9 +865,12 @@ def _default_root() -> Path:
     return Path(__file__).resolve().parents[1]
 
 
-def lint_paths(paths: Sequence[str | Path] | None = None) -> list[Violation]:
-    """Lint files/directories (default: the installed ``repro`` tree),
-    reporting paths relative to the package parent (``repro/...``)."""
+def read_tree(
+    paths: Sequence[str | Path] | None = None
+) -> list[tuple[str, str]]:
+    """``(path, source)`` pairs of files/directories (default: the
+    installed ``repro`` tree), with paths relative to the package parent
+    (``repro/...``) — the batch both lint and verify run on."""
     roots = [Path(p) for p in paths] if paths else [_default_root()]
     files: list[Path] = []
     for root in roots:
@@ -704,24 +886,33 @@ def lint_paths(paths: Sequence[str | Path] | None = None) -> list[Violation]:
         except ValueError:
             rel = str(f)
         named.append((rel.replace("\\", "/"), f.read_text(encoding="utf-8")))
-    return lint_sources(named)
+    return named
+
+
+def lint_paths(paths: Sequence[str | Path] | None = None) -> list[Violation]:
+    """Lint files/directories (default: the installed ``repro`` tree)."""
+    return lint_sources(read_tree(paths))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="SPMD correctness lint over the repro source tree",
+        description="SPMD correctness lint over the repro source tree "
+        "(exit 0 clean, 1 findings, 2 usage error)",
     )
     ap.add_argument("paths", nargs="*",
                     help="files or directories to lint (default: the "
                     "installed repro package)")
+    ap.add_argument("--format", choices=("text", "json"), default="text",
+                    help="output format (json emits the shared "
+                    "repro.analysis.findings/v1 document)")
     ap.add_argument("--json", action="store_true",
-                    help="emit violations as a JSON list")
+                    help="alias for --format json")
     args = ap.parse_args(argv)
 
     violations = lint_paths(args.paths or None)
-    if args.json:
-        print(json.dumps([v.__dict__ for v in violations], indent=2))
+    if args.json or args.format == "json":
+        print(json.dumps(render_json("lint", violations), indent=2))
     else:
         for v in violations:
             print(v.render())

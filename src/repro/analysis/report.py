@@ -1,0 +1,248 @@
+"""Shared reporting layer of the analysis subsystem.
+
+One naming scheme ties the three SPMD correctness tools together: the
+per-file lint pass (:mod:`repro.analysis.lint`), the whole-program
+verifier (:mod:`repro.analysis.verify`) and the runtime comm sanitizer
+(:mod:`repro.analysis.sanitizer`) all report under the stable finding
+codes of :data:`FINDING_CODES` — a static ``rank-divergent-collective``
+is the compile-time shadow of the sanitizer's runtime collective
+mismatch, a static ``unmatched-send`` the shadow of its teardown audit.
+``docs/analysis.md`` renders the full table.
+
+This module also owns the machine surface both CLIs share:
+
+* :class:`Finding` — one finding with a severity (from the code table)
+  and a line-number-insensitive *fingerprint*, so a finding keeps its
+  identity while unrelated edits shift the file around it;
+* :func:`render_json` — the ``repro.analysis.findings/v1`` schema
+  emitted by ``lint --format json`` and ``verify --format json``;
+* baseline files (:func:`load_baseline` / :func:`write_baseline` /
+  :func:`diff_baseline`) — a committed list of accepted fingerprints
+  that lets CI fail only on *new* findings (see the rebaseline guide in
+  ``docs/analysis.md``).
+
+Exit-code contract of both CLIs: ``0`` — clean (no findings, or none
+outside the baseline); ``1`` — at least one (new) finding; ``2`` —
+usage or internal error (argparse, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "FINDING_CODES",
+    "SCHEMA",
+    "BASELINE_SCHEMA",
+    "CodeInfo",
+    "Finding",
+    "diff_baseline",
+    "load_baseline",
+    "pragma_map",
+    "render_json",
+    "severity_of",
+    "write_baseline",
+]
+
+#: schema identifier stamped into every JSON findings document
+SCHEMA = "repro.analysis.findings/v1"
+#: schema identifier of committed baseline files
+BASELINE_SCHEMA = "repro.analysis.baseline/v1"
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """One row of the finding-code table."""
+
+    severity: str           # "error" | "warning"
+    pragma: str | None      # the spmd pragma code that allowlists it
+    tools: tuple[str, ...]  # which tools can emit it
+    description: str
+
+
+#: the stable finding-code table shared by lint, verify and sanitizer
+FINDING_CODES: Mapping[str, CodeInfo] = {
+    "rank-divergent-collective": CodeInfo(
+        "error", "rank-divergent-ok", ("lint", "verify", "sanitizer"),
+        "a collective is executed by only some ranks (branch or loop "
+        "guarded by a rank-derived value; the sanitizer reports the "
+        "runtime counterpart as a collective mismatch)",
+    ),
+    "unmatched-send": CodeInfo(
+        "error", "unmatched-send-ok", ("verify", "sanitizer"),
+        "a p2p send whose (tag, peer) has no matching recv site in the "
+        "entry point's schedule closure (statically) or that no rank "
+        "ever received (sanitizer teardown audit)",
+    ),
+    "unmatched-recv": CodeInfo(
+        "warning", "unmatched-recv-ok", ("verify",),
+        "a p2p recv site whose tag no send site in the entry point's "
+        "schedule closure ever posts",
+    ),
+    "plan-nondeterminism": CodeInfo(
+        "error", "nondeterminism-ok", ("lint",),
+        "unordered iteration or an entropy source in a "
+        "deterministic-plan module",
+    ),
+    "python-hot-loop": CodeInfo(
+        "warning", "hot-loop-ok", ("lint",),
+        "a per-element Python loop in a vectorized kernel module",
+    ),
+    "duplicate-p2p-tag": CodeInfo(
+        "error", "tag-ok", ("lint",),
+        "the same p2p tag value (literal or resolved module constant) "
+        "used by distinct protocols in different modules",
+    ),
+    "broad-except": CodeInfo(
+        "warning", "broad-except-ok", ("lint",),
+        "a broad except handler that neither re-raises nor inspects "
+        "the exception",
+    ),
+    "unknown-pragma": CodeInfo(
+        "warning", None, ("lint", "verify"),
+        "a '# spmd:' pragma naming no known suppression code",
+    ),
+    "unused-pragma": CodeInfo(
+        "warning", None, ("lint", "verify"),
+        "a '# spmd:' pragma that no longer suppresses any finding",
+    ),
+    "syntax-error": CodeInfo(
+        "error", None, ("lint", "verify"),
+        "a module that does not parse",
+    ),
+    "shm-leak": CodeInfo(
+        "error", None, ("sanitizer",),
+        "a shared-memory segment created by the mpcomm transport and "
+        "never unlinked (runtime teardown audit)",
+    ),
+}
+
+
+def severity_of(code: str) -> str:
+    """Severity of a finding code (unknown codes default to error)."""
+    info = FINDING_CODES.get(code)
+    return info.severity if info is not None else "error"
+
+
+def pragma_map(tools: Iterable[str] | None = None) -> dict[str, str]:
+    """``check code -> pragma`` for codes that have one, optionally
+    restricted to codes at least one of ``tools`` can emit."""
+    want = set(tools) if tools is not None else None
+    return {
+        code: info.pragma
+        for code, info in FINDING_CODES.items()
+        if info.pragma is not None
+        and (want is None or want.intersection(info.tools))
+    }
+
+
+#: line references inside messages are normalised away so a fingerprint
+#: survives unrelated edits shifting the file
+_LINE_REF_RE = re.compile(r"\bline \d+")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One finding, pointing at a source line.
+
+    Identical shape to :class:`repro.analysis.lint.Violation` plus the
+    severity/fingerprint surface; the two render to the same JSON.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    @property
+    def severity(self) -> str:
+        return severity_of(self.code)
+
+    def fingerprint(self) -> str:
+        """Stable identity: hash of (code, path, normalised message) —
+        deliberately *not* the line number, so pure line drift neither
+        breaks a baseline match nor lets a finding hide."""
+        text = "|".join(
+            (self.code, self.path, _LINE_REF_RE.sub("line N", self.message))
+        )
+        return hashlib.sha1(text.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.code}] "
+                f"{self.severity}: {self.message}")
+
+    def as_json(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def render_json(
+    tool: str,
+    findings: Sequence[Finding],
+    baseline: "set[str] | None" = None,
+    suppressed: int = 0,
+) -> dict:
+    """The ``repro.analysis.findings/v1`` document both CLIs emit."""
+    counts: dict[str, int] = {"error": 0, "warning": 0}
+    for f in findings:
+        counts[f.severity] = counts.get(f.severity, 0) + 1
+    doc = {
+        "schema": SCHEMA,
+        "tool": tool,
+        "findings": [f.as_json() for f in findings],
+        "counts": counts,
+    }
+    if baseline is not None:
+        doc["baseline"] = {
+            "applied": True,
+            "size": len(baseline),
+            "suppressed": suppressed,
+        }
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Accepted fingerprints of a committed baseline file."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BASELINE_SCHEMA} baseline "
+            f"(schema={doc.get('schema')!r})"
+        )
+    return {entry["fingerprint"] for entry in doc.get("findings", [])}
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new accepted baseline (full
+    entries, not bare hashes, so the file reviews like a report)."""
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [f.as_json() for f in findings],
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def diff_baseline(
+    findings: Sequence[Finding], baseline: set[str]
+) -> tuple[list[Finding], int]:
+    """``(new findings, suppressed count)`` against a baseline."""
+    new = [f for f in findings if f.fingerprint() not in baseline]
+    return new, len(findings) - len(new)

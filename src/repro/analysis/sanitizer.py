@@ -35,6 +35,12 @@ makes the check explicit and *named*:
   reported as leaks (the run-prefix sweep would hide them; the
   sanitizer makes them loud).
 
+Error messages carry the bracketed finding codes of the shared table in
+:mod:`repro.analysis.report` (``[rank-divergent-collective]``,
+``[unmatched-send]``, ``[shm-leak]``): a runtime sanitizer report and
+its static counterpart from ``repro.analysis.lint`` /
+``repro.analysis.verify`` name the same defect the same way.
+
 Enable with the ``comm_sanitize`` config knob, the ``--comm-sanitize``
 CLI flag, or ``REPRO_COMM_SANITIZE=1`` (see ``docs/knobs.md``); the
 golden-obliviousness contract holds under the sanitizer — wrapping
@@ -157,7 +163,8 @@ class SanitizedComm(CommBackend):
                 for r, f in enumerate(fps)
             )
             raise SpmdError(
-                f"comm sanitizer: collective mismatch on comm "
+                f"comm sanitizer: collective mismatch "
+                f"[rank-divergent-collective] on comm "
                 f"{self._label!r}: world rank(s) "
                 f"{', '.join(map(str, divergers))} diverged from the "
                 f"majority op {majority}() — {detail}"
@@ -295,6 +302,7 @@ class SanitizedComm(CommBackend):
             got = per_rank[dest_world][1].get((label, tag), 0)
             if total > got:
                 problems.append(
+                    f"[unmatched-send] "
                     f"{total - got} unmatched send(s) to world rank "
                     f"{dest_world} (comm {label!r}, tag {tag}) from "
                     f"rank(s) {sorted(set(srcs))}"
@@ -310,6 +318,7 @@ class SanitizedComm(CommBackend):
         if leaked:
             owners = sorted({all_created[n] for n in leaked})
             problems.append(
+                f"[shm-leak] "
                 f"{len(leaked)} leaked shared-memory segment(s) "
                 f"created by rank(s) {owners} and never unlinked: "
                 f"{', '.join(leaked[:8])}"

@@ -1,0 +1,173 @@
+"""Whole-program SPMD verifier: ``python -m repro.analysis.verify``.
+
+Where :mod:`repro.analysis.lint` checks one scope at a time, this tool
+sees the whole program: it builds the project index and call graph
+(:mod:`repro.analysis.callgraph`), runs the interprocedural rank-taint
+fixpoint (:mod:`repro.analysis.dataflow`), and extracts + checks the
+static communication schedule of every SPMD entry point
+(:mod:`repro.analysis.schedule`).  A rank-divergent collective hidden
+two helpers deep, or a send whose only possible partner lives in
+another module and was never written, is reported here — before a
+single rank is spawned, instead of at runtime by the sanitizer (or a
+watchdog deadlock).
+
+Emitted codes (see the shared table in :mod:`repro.analysis.report` and
+``docs/analysis.md``): ``rank-divergent-collective``,
+``unmatched-send``, ``unmatched-recv``, ``syntax-error``,
+``unknown-pragma``, and ``unused-pragma``.  The verifier audits unused
+pragmas across the *whole* shared vocabulary: it runs the lint checkers
+internally (discarding their findings — the lint CLI owns those) so a
+pragma consumed by either tool counts as used.
+
+Suppression works exactly as in lint (``# spmd: <code>-ok (reason)`` on
+or above the flagged line).  For findings that are accepted long-term,
+a committed baseline is the better tool::
+
+    python -m repro.analysis.verify --write-baseline spmd-baseline.json
+    python -m repro.analysis.verify --baseline spmd-baseline.json
+
+With ``--baseline``, only findings whose (line-insensitive) fingerprint
+is absent from the file fail the run — CI stays green across unrelated
+edits and red on any *new* finding.  Exit codes: ``0`` clean (or all
+findings baselined), ``1`` new findings, ``2`` usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .callgraph import CallGraph, ProjectIndex
+from .dataflow import RankTaint
+from .lint import read_tree, run_core_lint
+from .report import (
+    FINDING_CODES,
+    Finding,
+    diff_baseline,
+    load_baseline,
+    render_json,
+    write_baseline,
+)
+from .schedule import ScheduleAnalysis
+
+__all__ = [
+    "main",
+    "verify_paths",
+    "verify_source",
+    "verify_sources",
+]
+
+
+def verify_sources(
+    named_sources: Sequence[tuple[str, str]]
+) -> list[Finding]:
+    """Verify ``(path, source)`` pairs as one whole program."""
+    index = ProjectIndex.build_from_sources(named_sources)
+    graph = CallGraph(index)
+    taint = RankTaint(index, graph)
+    schedule = ScheduleAnalysis(index, graph, taint)
+
+    findings: list[Finding] = [
+        Finding(path, line, "syntax-error", message)
+        for path, (line, message) in index.broken.items()
+    ]
+
+    # the lint checkers run for their pragma *usage* only: a pragma that
+    # suppresses a lint finding is not stale, even though the lint CLI
+    # (not this one) reports that finding
+    _lint_findings, file_lints = run_core_lint(named_sources)
+    pragma_index = {fl.path: fl.pragmas for fl in file_lints}
+    for fl in file_lints:
+        findings.extend(fl.pragmas.bad)
+
+    for finding in schedule.findings():
+        pragmas = pragma_index.get(finding.path)
+        if pragmas is not None and pragmas.suppressed(
+                finding.code, finding.line):
+            continue
+        findings.append(finding)
+
+    for fl in file_lints:
+        findings.extend(fl.pragmas.unused_findings(FINDING_CODES))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+    return findings
+
+
+def verify_source(source: str, filename: str = "repro/x.py"
+                  ) -> list[Finding]:
+    """Verify one in-memory module (tests seeding synthetic faults)."""
+    return verify_sources([(filename, source)])
+
+
+def verify_paths(
+    paths: Sequence[str | Path] | None = None
+) -> list[Finding]:
+    """Verify files/directories (default: the installed ``repro``
+    tree), reporting paths relative to the package parent."""
+    return verify_sources(read_tree(paths))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis.verify",
+        description="whole-program SPMD verifier: interprocedural "
+        "rank-taint + static communication-schedule matching "
+        "(exit 0 clean, 1 new findings, 2 usage error)",
+    )
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to verify (default: the "
+                    "installed repro package)")
+    ap.add_argument("--format", choices=("text", "json"), default="text",
+                    help="output format (json emits the shared "
+                    "repro.analysis.findings/v1 document)")
+    ap.add_argument("--baseline", metavar="FILE",
+                    help="fail only on findings not fingerprinted in "
+                    "this committed baseline file")
+    ap.add_argument("--write-baseline", metavar="FILE",
+                    help="accept the current findings: write them as "
+                    "the new baseline and exit 0")
+    ap.add_argument("--output", metavar="FILE",
+                    help="additionally write the JSON findings document "
+                    "to FILE (for CI artifacts)")
+    args = ap.parse_args(argv)
+
+    findings = verify_paths(args.paths or None)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"wrote {args.write_baseline}: "
+              f"{len(findings)} accepted finding(s)")
+        return 0
+
+    baseline = None
+    new, suppressed = findings, 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: unusable baseline: {exc}", file=sys.stderr)
+            return 2
+        new, suppressed = diff_baseline(findings, baseline)
+
+    doc = render_json("verify", new, baseline, suppressed)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        for f in new:
+            print(f.render())
+        tail = (f" ({suppressed} baselined)" if args.baseline else "")
+        print(f"{len(new)} finding(s){tail}" if new
+              else f"clean: no findings{tail}")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from typing import Any, Callable, Sequence
 __all__ = [
     "ANY_SOURCE",
     "COMM_BACKENDS",
+    "COMM_OP_KINDS",
     "CommBackend",
     "Request",
     "SpmdError",
@@ -46,6 +47,20 @@ __all__ = [
 
 #: Wildcard source for :meth:`CommBackend.recv`.
 ANY_SOURCE = -1
+
+#: Kind of every operation on this surface: ``"send"`` / ``"recv"`` /
+#: ``"collective"``.  This is the declarative op table the static
+#: analysis tools mirror (``repro.analysis`` keeps its own copy so it
+#: never imports runtime code; a unit test cross-checks the two).
+COMM_OP_KINDS: dict[str, str] = {
+    "send": "send", "isend": "send",
+    "recv": "recv", "irecv": "recv", "tryrecv": "recv",
+    "barrier": "collective", "bcast": "collective",
+    "allgather": "collective", "gather": "collective",
+    "scatter": "collective", "alltoall": "collective",
+    "reduce": "collective", "allreduce": "collective",
+    "exscan": "collective", "split": "collective",
+}
 
 #: Watchdog timeout (seconds) converting deadlocks into failures.
 DEFAULT_TIMEOUT = 120.0

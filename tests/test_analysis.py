@@ -20,6 +20,7 @@ pickle it under the ``spawn`` start method.
 
 from __future__ import annotations
 
+import json
 import textwrap
 from dataclasses import replace
 
@@ -210,6 +211,41 @@ class TestLintTagsAndExcepts:
         ])
         assert out == []
 
+    def test_constant_named_tag_collision_resolved(self):
+        # the tag rides a module constant in one file and a literal in
+        # the other: the resolver must see they collide
+        out = lint_sources([
+            ("repro/core/a.py", src("""
+                STEAL_TAG = 78
+
+                def f(c):
+                    c.send(1, 0, tag=STEAL_TAG)
+            """)),
+            ("repro/core/b.py",
+             "def g(c):\n    c.recv(0, tag=78)\n"),
+        ])
+        assert codes(out) == ["duplicate-p2p-tag"] * 3
+        assert any("tag=STEAL_TAG" in v.message for v in out)
+
+    def test_shared_imported_constant_is_one_protocol(self):
+        # two modules using the *same* imported constant are one
+        # protocol, not a collision
+        out = lint_sources([
+            ("repro/core/a.py", src("""
+                EXCH_TAG = 55
+
+                def f(c):
+                    c.send(1, 0, tag=EXCH_TAG)
+            """)),
+            ("repro/core/b.py", src("""
+                from .a import EXCH_TAG
+
+                def g(c):
+                    c.recv(0, tag=EXCH_TAG)
+            """)),
+        ])
+        assert out == []
+
     def test_broad_except_flagged_and_narrow_ok(self):
         out = lint_source(src("""
             def risky():
@@ -253,6 +289,31 @@ class TestLintPragmasAndRepo:
             "python-hot-loop", "duplicate-p2p-tag", "broad-except",
         }
 
+    def test_unused_lint_pragma_flagged(self):
+        out = lint_source(
+            "x = 1  # spmd: hot-loop-ok (stale leftover)\n",
+            "repro/core/x.py",
+        )
+        assert codes(out) == ["unused-pragma"]
+        assert "hot-loop-ok" in out[0].message
+
+    def test_working_pragma_is_not_unused(self):
+        out = lint_source(src("""
+            def kernel(rows):
+                for r in rows:  # spmd: hot-loop-ok (reference)
+                    pass
+        """), "repro/align/engine.py")
+        assert out == []
+
+    def test_verifier_pragma_parses_and_is_not_lints_business(self):
+        # unmatched-send-ok belongs to the shared vocabulary (not
+        # unknown), and its unused audit is owned by the verifier
+        out = lint_source(
+            "x = 1  # spmd: unmatched-send-ok (drained later)\n",
+            "repro/core/x.py",
+        )
+        assert out == []
+
     def test_repo_lints_clean(self):
         out = lint_paths()
         assert out == [], "\n".join(v.render() for v in out)
@@ -266,6 +327,21 @@ class TestLintPragmasAndRepo:
         )
         assert lint_main([str(bad)]) == 1
         assert "rank-divergent-collective" in capsys.readouterr().out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "divergent.py"
+        bad.write_text(
+            "def f(comm):\n    if comm.rank:\n        comm.barrier()\n"
+        )
+        assert lint_main([str(bad), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.analysis.findings/v1"
+        assert doc["tool"] == "lint"
+        assert [f["code"] for f in doc["findings"]] == [
+            "rank-divergent-collective"
+        ]
+        assert doc["findings"][0]["severity"] == "error"
+        assert doc["counts"] == {"error": 1, "warning": 0}
 
 
 # ---------------------------------------------------------------------------
@@ -359,6 +435,8 @@ class TestSanitizerRuntime:
                      comm_sanitize=True, timeout=60.0)
         msg = str(exc.value)
         assert "comm sanitizer: collective mismatch" in msg
+        # runtime findings carry the same code the static tools use
+        assert "[rank-divergent-collective]" in msg
         assert "barrier" in msg and "allgather" in msg
         if nranks == 4:
             # with a clear majority the lone diverger is named
@@ -370,6 +448,7 @@ class TestSanitizerRuntime:
                      comm_sanitize=True, timeout=60.0)
         msg = str(exc.value)
         assert "teardown audit failed" in msg
+        assert "[unmatched-send]" in msg
         assert ("1 unmatched send(s) to world rank 1 "
                 "(comm 'world', tag 99) from rank(s) [0]") in msg
 
@@ -387,6 +466,7 @@ class TestSanitizerShmAudit:
             run_spmd(2, _leak_body, comm_backend="mp",
                      comm_sanitize=True, timeout=60.0)
         msg = str(exc.value)
+        assert "[shm-leak]" in msg
         assert "leaked shared-memory segment(s)" in msg
         assert "created by rank(s) [0]" in msg
         # the orphan send is reported by the same audit
