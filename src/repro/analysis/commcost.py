@@ -1,0 +1,1530 @@
+"""Static communication-cost analyzer: ``python -m repro.analysis.commcost``.
+
+The third static pass over the :mod:`repro.analysis` infrastructure.
+Where :mod:`repro.analysis.verify` checks communication *correctness*
+(schedule uniformity, p2p matching), this pass predicts communication
+*volume*: for every SPMD entry point it walks the extracted schedule
+tree (:class:`repro.analysis.schedule.ScheduleAnalysis`) and attaches a
+symbolic payload-size expression to every collective and p2p operation,
+resolved through the call graph — ndarray constructor shapes, module
+constants followed across imports, helper-call returns one or more
+levels deep, and the process-grid parameters ``p`` (world size) and
+``q = sqrt(p)`` (grid side).  Sizes that cannot be resolved statically
+become explicit ``unknown`` terms carrying the reason and site; they are
+counted and reported, never silently dropped.
+
+The per-entry result is a closed form in the grid size: total traced
+messages and bytes as polynomials in ``p`` and ``q``, and a predicted
+communication time ``alpha * msgs + beta * bytes`` using the per-backend
+coefficients :func:`repro.perfmodel.calibrate.calibrate_comm_model`
+fits on this interpreter.  The message model mirrors the
+:class:`~repro.mpisim.tracing.CommTracer` record-for-record: a bcast on
+a size-``S`` communicator is ``S - 1`` records at the root, an
+allgather ``S * (S - 1)``, allreduce/exscan are implemented via
+allgather and traced as such, every ``comm.split`` does a traced
+allgather of a small fingerprint tuple, and ``barrier`` is untraced.
+Communicators created by ``split`` are tracked as *families* — the
+``q`` row communicators of a grid are one family ``world/0.*`` whose
+member count and size are themselves symbolic.
+
+``--check`` closes the loop against the runtime tracer: it runs the
+4-rank statically-sizable smoke pipeline (:mod:`repro.core.smoke`)
+under a :class:`~repro.mpisim.tracing.CommTracer` and diffs predicted
+vs traced messages and bytes per ``(communicator family, op)`` group.
+Fully resolved groups must agree within ``--tolerance`` (default 25%);
+groups containing unknown terms are enumerated but not gated.
+
+The pass also emits comm-*performance* lints through the shared
+finding machinery of :mod:`repro.analysis.report` (pragma-suppressible,
+baseline-diffable, same JSON schema and exit codes as lint/verify):
+
+* ``redundant-collective`` — bcast/allgather/allreduce of a payload
+  that is syntactically rank-uniform (a literal or a module constant):
+  every rank already holds the value.  Deliberately *not* keyed on the
+  rank-taint lattice: taint does not track control dependence, so a
+  value computed under ``if comm.rank == 0:`` and then broadcast looks
+  untainted even though the broadcast is essential.
+* ``grid-loop-collective`` — a collective inside a loop whose trip
+  count scales with the grid (``range(grid.q)``, ``range(comm.size)``)
+  where no argument mentions the loop variable: the iterations are
+  identical and the collective is hoistable.  SUMMA's rotating
+  ``root=t`` passes because ``t`` is an argument.
+* ``per-element-send`` — a send/isend inside a loop whose payload is
+  exactly the loop variable (or an indexing by it): one message per
+  element is alpha-dominated; batch or use alltoall.
+* ``pickled-envelope`` — a send/isend whose payload is a list of
+  ndarrays: the pickle codec copies each element; a single flat ndarray
+  uses the zero-copy buffer path.
+
+Suppression/baseline work exactly as in lint/verify; this CLI owns the
+``unused-pragma`` audit for its four codes (verify excludes them).
+Exit codes: ``0`` clean, ``1`` new findings or a failed ``--check``,
+``2`` usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import math
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .callgraph import CallGraph, FunctionInfo, ProjectIndex
+from .dataflow import RECV_OPS, SEND_OPS, RankTaint
+from .lint import read_tree, run_core_lint
+from .report import (
+    FINDING_CODES,
+    Finding,
+    diff_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .schedule import (
+    EXCLUDED_PATH_MARKERS,
+    Branch,
+    CallSite,
+    Loop,
+    Op,
+    ScheduleAnalysis,
+)
+
+# the one place the analysis package executes analyzed code: the payload
+# sizer, imported so static predictions and the runtime tracer charge a
+# value by the *same* rule (ndarray nbytes + header, pickled envelope)
+from ..mpisim.tracing import ARRAY_HEADER_BYTES, payload_bytes
+
+__all__ = [
+    "COST_SCHEMA",
+    "CommCostAnalysis",
+    "CommFamily",
+    "Contribution",
+    "EntryCost",
+    "SizeExpr",
+    "analyze_sources",
+    "main",
+    "normalize_comm_label",
+]
+
+COST_SCHEMA = "repro.analysis.commcost/v1"
+
+#: symbols of the closed forms: world size and grid side (p = q**2)
+SYM_P = "p"
+SYM_Q = "q"
+
+#: codes only this tool can emit — it owns their unused-pragma audit
+COMMCOST_SOLE_CODES = frozenset(
+    code for code, info in FINDING_CODES.items()
+    if info.tools == ("commcost",)
+)
+
+#: wire size of the fingerprint tuple every comm.split() allgathers
+#: (("split", call_idx, color, key, rank) — constant for small ints)
+SPLIT_FINGERPRINT_BYTES = payload_bytes(("split", 0, 0, 0, 0))
+
+#: collectives whose result every rank could compute locally when the
+#: payload is uniform (the redundant-collective candidates)
+_UNIFORM_REDUNDANT_OPS = frozenset({"bcast", "allgather", "allreduce"})
+
+#: numpy array constructors whose result size is shape x itemsize
+_NP_CTORS = frozenset({"zeros", "ones", "empty", "full", "arange"})
+
+_INLINE_DEPTH = 8
+_PAYLOAD_DEPTH = 6
+
+
+def _excluded(path: str) -> bool:
+    norm = path.replace("\\", "/")
+    return any(m in norm for m in EXCLUDED_PATH_MARKERS)
+
+
+# ---------------------------------------------------------------------------
+# symbolic sizes
+# ---------------------------------------------------------------------------
+
+
+def _canon(terms: dict, unknowns) -> "SizeExpr":
+    kept = tuple(sorted(
+        (syms, coeff) for syms, coeff in terms.items()
+        if abs(coeff) > 1e-12
+    ))
+    return SizeExpr(kept, tuple(sorted(set(unknowns))))
+
+
+@dataclass(frozen=True)
+class SizeExpr:
+    """A sum of products over the grid symbols, plus explicit unknowns.
+
+    ``terms`` maps a sorted tuple of symbol names (repetition encodes
+    powers: ``("q", "q")`` is ``q**2``) to a coefficient.  ``unknowns``
+    are human-readable reasons why part of the quantity could not be
+    resolved statically; an expression with unknowns still carries its
+    resolved part, but is excluded from the ``--check`` gate.
+    """
+
+    terms: tuple = ()
+    unknowns: tuple = ()
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def const(value: float) -> "SizeExpr":
+        v = float(value)
+        return SizeExpr(((tuple(), v),)) if v else SizeExpr()
+
+    @staticmethod
+    def sym(name: str) -> "SizeExpr":
+        return SizeExpr((((name,), 1.0),))
+
+    @staticmethod
+    def unknown(reason: str) -> "SizeExpr":
+        return SizeExpr((), (reason,))
+
+    # -- algebra -----------------------------------------------------------
+
+    def __add__(self, other: "SizeExpr") -> "SizeExpr":
+        acc = {syms: coeff for syms, coeff in self.terms}
+        for syms, coeff in other.terms:
+            acc[syms] = acc.get(syms, 0.0) + coeff
+        return _canon(acc, self.unknowns + other.unknowns)
+
+    def __sub__(self, other: "SizeExpr") -> "SizeExpr":
+        return self + (other * SizeExpr.const(-1))
+
+    def __mul__(self, other: "SizeExpr") -> "SizeExpr":
+        acc: dict = {}
+        for s1, c1 in self.terms:
+            for s2, c2 in other.terms:
+                syms = tuple(sorted(s1 + s2))
+                acc[syms] = acc.get(syms, 0.0) + c1 * c2
+        return _canon(acc, self.unknowns + other.unknowns)
+
+    def sqrt(self) -> "SizeExpr":
+        """``sqrt`` of the expression where it has a symbolic meaning:
+        ``p -> q`` (perfect-square grids), perfect-square constants."""
+        if self.unknowns or len(self.terms) != 1:
+            return SizeExpr.unknown(f"sqrt({self.render()})")
+        syms, coeff = self.terms[0]
+        if syms == (SYM_P,) and coeff == 1.0:
+            return SizeExpr.sym(SYM_Q)
+        if not syms and coeff >= 0 and float(coeff).is_integer():
+            root = math.isqrt(int(coeff))
+            if root * root == int(coeff):
+                return SizeExpr.const(root)
+        return SizeExpr.unknown(f"sqrt({self.render()})")
+
+    def div(self, other: "SizeExpr") -> "SizeExpr":
+        """Division for the family-count shapes: ``p / q = q`` and
+        constant / constant; anything else is an unknown."""
+        if (self.terms == (((SYM_P,), 1.0),)
+                and other.terms == (((SYM_Q,), 1.0),)
+                and not (self.unknowns or other.unknowns)):
+            return SizeExpr.sym(SYM_Q)
+        if (len(self.terms) <= 1 and len(other.terms) == 1
+                and not (self.unknowns or other.unknowns)):
+            osyms, ocoeff = other.terms[0]
+            if not osyms and ocoeff:
+                if not self.terms:
+                    return SizeExpr()
+                syms, coeff = self.terms[0]
+                if not syms:
+                    return SizeExpr.const(coeff / ocoeff)
+        return SizeExpr.unknown(
+            f"({self.render()}) / ({other.render()})"
+        )
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def resolved(self) -> bool:
+        return not self.unknowns
+
+    def is_zero(self) -> bool:
+        return not self.terms and not self.unknowns
+
+    def constant_value(self) -> float | None:
+        """The numeric value, if the expression is a plain constant."""
+        if self.unknowns or len(self.terms) > 1:
+            return None
+        if not self.terms:
+            return 0.0
+        syms, coeff = self.terms[0]
+        return coeff if not syms else None
+
+    def evaluate(self, p: int) -> float:
+        """Numeric value of the *resolved* part at world size ``p``."""
+        q = math.sqrt(p)
+        total = 0.0
+        for syms, coeff in self.terms:
+            val = coeff
+            for s in syms:
+                val *= p if s == SYM_P else q
+            total += val
+        return total
+
+    def render(self) -> str:
+        if not self.terms and not self.unknowns:
+            return "0"
+        parts: list[str] = []
+        for syms, coeff in sorted(
+                self.terms, key=lambda t: (-len(t[0]), t[0])):
+            factors: list[str] = []
+            for s in sorted(set(syms)):
+                power = syms.count(s)
+                factors.append(s if power == 1 else f"{s}^{power}")
+            mag = abs(coeff)
+            num = (f"{int(mag)}" if float(mag).is_integer()
+                   else f"{mag:.4g}")
+            if factors and num == "1":
+                body = "*".join(factors)
+            elif factors:
+                body = f"{num}*" + "*".join(factors)
+            else:
+                body = num
+            sign = "-" if coeff < 0 else ("+" if parts else "")
+            parts.append(f"{sign} {body}" if parts else f"{sign}{body}")
+        if self.unknowns:
+            parts.append(("+ " if parts else "")
+                         + f"?[{len(self.unknowns)} unknown]")
+        return " ".join(parts)
+
+
+_ZERO = SizeExpr()
+_ONE = SizeExpr.const(1)
+
+
+# ---------------------------------------------------------------------------
+# communicator families and contributions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CommFamily:
+    """A set of symmetric communicators created by one syntactic path.
+
+    The world communicator is the family ``("world", size=p, count=1)``;
+    the row communicators of a grid are ``("world/0.*", size=q,
+    count=q)`` — one label covering every color, matching
+    :func:`normalize_comm_label` applied to traced labels.
+    """
+
+    label: str
+    size: SizeExpr
+    count: SizeExpr
+    splits: int = 0     # split calls seen so far (names child families)
+
+
+@dataclass
+class Contribution:
+    """Traced volume one op site adds to one communicator family."""
+
+    comm: str          # normalized family label ("world", "world/0.*")
+    op: str            # op as the tracer records it ("allgather", ...)
+    kind: str          # "p2p" or the collective kind
+    msgs: SizeExpr
+    nbytes: SizeExpr
+    path: str
+    line: int
+    site_op: str       # op as written at the site ("allreduce", ...)
+
+    def as_json(self) -> dict:
+        return {
+            "comm": self.comm,
+            "op": self.op,
+            "kind": self.kind,
+            "messages": self.msgs.render(),
+            "bytes": self.nbytes.render(),
+            "unknowns": sorted(set(self.msgs.unknowns
+                                   + self.nbytes.unknowns)),
+            "site": f"{self.path}:{self.line}",
+            "site_op": self.site_op,
+        }
+
+
+@dataclass
+class EntryCost:
+    """The symbolic communication volume of one SPMD entry point."""
+
+    entry: str
+    contributions: list[Contribution] = field(default_factory=list)
+
+    @property
+    def msgs(self) -> SizeExpr:
+        total = _ZERO
+        for c in self.contributions:
+            total = total + c.msgs
+        return total
+
+    @property
+    def nbytes(self) -> SizeExpr:
+        total = _ZERO
+        for c in self.contributions:
+            total = total + c.nbytes
+        return total
+
+    @property
+    def unknowns(self) -> tuple[str, ...]:
+        out: set[str] = set()
+        for c in self.contributions:
+            out.update(c.msgs.unknowns)
+            out.update(c.nbytes.unknowns)
+        return tuple(sorted(out))
+
+    def groups(self) -> dict[tuple[str, str], tuple[SizeExpr, SizeExpr]]:
+        """``(comm family, traced op) -> (msgs, bytes)`` totals."""
+        acc: dict[tuple[str, str], tuple[SizeExpr, SizeExpr]] = {}
+        for c in self.contributions:
+            key = (c.comm, c.op)
+            msgs, nbytes = acc.get(key, (_ZERO, _ZERO))
+            acc[key] = (msgs + c.msgs, nbytes + c.nbytes)
+        return acc
+
+    def seconds_form(self) -> str:
+        return (f"alpha*({self.msgs.render()}) "
+                f"+ beta*({self.nbytes.render()})")
+
+    def as_json(self) -> dict:
+        return {
+            "entry": self.entry,
+            "messages": self.msgs.render(),
+            "bytes": self.nbytes.render(),
+            "seconds": self.seconds_form(),
+            "unknowns": list(self.unknowns),
+            "groups": [
+                {
+                    "comm": comm, "op": op,
+                    "messages": msgs.render(),
+                    "bytes": nbytes.render(),
+                }
+                for (comm, op), (msgs, nbytes) in sorted(self.groups()
+                                                         .items())
+            ],
+            "contributions": [c.as_json() for c in self.contributions],
+        }
+
+
+def normalize_comm_label(label: str) -> str:
+    """Collapse a traced communicator id to its family label:
+    ``world/0.1`` (split call 0, color 1) -> ``world/0.*``."""
+    segments = label.split("/")
+    out = [segments[0]]
+    for seg in segments[1:]:
+        idx = seg.split(".", 1)[0]
+        out.append(f"{idx}.*")
+    return "/".join(out)
+
+
+# ---------------------------------------------------------------------------
+# the walker's scope
+# ---------------------------------------------------------------------------
+
+
+class _Scope:
+    """Bindings of one walked function frame."""
+
+    def __init__(self) -> None:
+        self.comms: dict[str, CommFamily] = {}
+        self.values: dict[str, SizeExpr] = {}
+        #: name -> attribute map of a known object (the process grid)
+        self.objects: dict[str, dict[str, object]] = {}
+
+    def lookup_comm(self, path: str | None) -> CommFamily | None:
+        if path is None:
+            return None
+        hit = self.comms.get(path)
+        if hit is not None:
+            return hit
+        if "." in path:
+            base, attr = path.split(".", 1)
+            obj = self.objects.get(base)
+            if obj is not None:
+                child = obj.get(attr)
+                if isinstance(child, CommFamily):
+                    return child
+        return None
+
+
+def _dotted(expr: ast.AST) -> str | None:
+    """``grid.row_comm`` -> "grid.row_comm" for Name/Attribute chains."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = _dotted(expr.value)
+        return f"{base}.{expr.attr}" if base else None
+    return None
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+# ---------------------------------------------------------------------------
+# the analysis
+# ---------------------------------------------------------------------------
+
+
+class CommCostAnalysis:
+    """Symbolic volume extraction + comm-performance lints."""
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph,
+                 taint: RankTaint, schedule: ScheduleAnalysis):
+        self.index = index
+        self.graph = graph
+        self.taint = taint
+        self.schedule = schedule
+        self._assigns: dict[str, tuple[dict, dict]] = {}
+        self._entry_cache: dict[str, EntryCost] = {}
+        self._findings: dict[tuple, Finding] = {}
+        #: functions whose closure performs any comm op (worth inlining)
+        self._active: set[str] = {
+            qual for qual in index.functions
+            if any(self._has_ops(q)
+                   for q in graph.reachable([qual]))
+        }
+
+    def _has_ops(self, qual: str) -> bool:
+        return any(True for _ in _iter_ops(self.schedule.trees.get(
+            qual, ())))
+
+    # -- public surface ----------------------------------------------------
+
+    def entry_points(self) -> list[str]:
+        """SPMD entry points worth costing (transports excluded)."""
+        out = []
+        for qual in self.schedule.entry_points:
+            fn = self.index.functions.get(qual)
+            if fn is not None and not _excluded(fn.path):
+                out.append(qual)
+        return out
+
+    def entry_cost(self, qual: str) -> EntryCost:
+        if qual not in self._entry_cache:
+            self._entry_cache[qual] = self._walk_entry(qual)
+        return self._entry_cache[qual]
+
+    def all_costs(self) -> list[EntryCost]:
+        return [self.entry_cost(q) for q in self.entry_points()]
+
+    def findings(self) -> list[Finding]:
+        """Comm-performance findings over every entry closure (sites are
+        deduplicated across entries)."""
+        self.all_costs()
+        out = sorted(self._findings.values(),
+                     key=lambda f: (f.path, f.line, f.code, f.message))
+        return out
+
+    # -- per-function assignment maps --------------------------------------
+
+    def _assign_maps(self, fn: FunctionInfo) -> tuple[dict, dict]:
+        """``(id(call node) -> target name, name -> [value exprs])`` for
+        the single-target assignments of one function body."""
+        cached = self._assigns.get(fn.qualname)
+        if cached is not None:
+            return cached
+        by_call: dict[int, str] = {}
+        by_name: dict[str, list[ast.AST]] = {}
+        for stmt in fn.own_statements():
+            if (isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                name = stmt.targets[0].id
+                by_name.setdefault(name, []).append(stmt.value)
+                if isinstance(stmt.value, ast.Call):
+                    by_call[id(stmt.value)] = name
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                tgt = stmt.target
+                if isinstance(tgt, ast.Name):
+                    by_name.setdefault(tgt.id, []).append(
+                        stmt.value if stmt.value is not None else tgt)
+        self._assigns[fn.qualname] = (by_call, by_name)
+        return by_call, by_name
+
+    def _unique_assignment(self, fn: FunctionInfo,
+                           name: str) -> ast.AST | None:
+        _, by_name = self._assign_maps(fn)
+        values = by_name.get(name)
+        return values[0] if values is not None and len(values) == 1 \
+            else None
+
+    # -- entry walk --------------------------------------------------------
+
+    def _walk_entry(self, qual: str) -> EntryCost:
+        fn = self.index.functions[qual]
+        scope = _Scope()
+        world = CommFamily("world", SizeExpr.sym(SYM_P), _ONE)
+        params = fn.params
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        for name in params:
+            if "comm" in name.lower() or name == "world":
+                scope.comms[name] = world
+        cost = EntryCost(qual)
+        self._walk_items(
+            fn, self.schedule.trees.get(qual, ()), scope, _ONE,
+            cost.contributions, stack=(qual,), loops=(),
+        )
+        return cost
+
+    def _walk_items(self, fn: FunctionInfo, items, scope: _Scope,
+                    mult: SizeExpr, out: list[Contribution],
+                    stack: tuple, loops: tuple) -> None:
+        for it in items:
+            if isinstance(it, Op):
+                self._visit_op(fn, it, scope, mult, out, stack, loops)
+            elif isinstance(it, CallSite):
+                self._visit_call(fn, it, scope, mult, out, stack, loops)
+            elif isinstance(it, Branch):
+                cond = mult * SizeExpr.unknown(
+                    f"conditional at {fn.path}:{it.lineno}")
+                self._walk_items(fn, it.then, scope, cond, out, stack,
+                                 loops)
+                self._walk_items(fn, it.orelse, scope, cond, out,
+                                 stack, loops)
+            elif isinstance(it, Loop):
+                trip = self._loop_trip(fn, it, scope)
+                target = None
+                if (isinstance(it.node, (ast.For, ast.AsyncFor))
+                        and isinstance(it.node.target, ast.Name)):
+                    target = it.node.target.id
+                self._walk_items(
+                    fn, it.body, scope, mult * trip, out, stack,
+                    loops + ((target, trip),),
+                )
+
+    # -- op sites ----------------------------------------------------------
+
+    def _visit_op(self, fn: FunctionInfo, op: Op, scope: _Scope,
+                  mult: SizeExpr, out: list[Contribution],
+                  stack: tuple, loops: tuple) -> None:
+        self._site_checks(fn, op, scope, loops, stack)
+        if op.op in RECV_OPS or op.op == "barrier":
+            return  # the tracer records traffic at the sender only
+        receiver = None
+        if isinstance(op.call.func, ast.Attribute):
+            receiver = _dotted(op.call.func.value)
+        fam = scope.lookup_comm(receiver)
+
+        if op.op in SEND_OPS:
+            payload = self._op_arg(op.call, 0)
+            size = (self._payload(fn, payload, scope, stack, 0)
+                    if payload is not None
+                    else SizeExpr.unknown(
+                        f"send payload at {fn.path}:{op.lineno}"))
+            kind = self._send_kind(op.call)
+            label = fam.label if fam is not None else "world"
+            msgs = mult * SizeExpr.sym(SYM_P)
+            out.append(Contribution(
+                label, "send", kind, msgs, msgs * size,
+                fn.path, op.lineno, op.op,
+            ))
+            return
+
+        if fam is None:
+            u = SizeExpr.unknown(
+                f"unresolved communicator "
+                f"'{receiver or '?'}' at {fn.path}:{op.lineno}")
+            out.append(Contribution(
+                "<unresolved>", op.op, op.op, u, u,
+                fn.path, op.lineno, op.op,
+            ))
+            return
+
+        if op.op == "split":
+            self._visit_split(fn, op, scope, fam, mult, out)
+            return
+
+        traced_op, round_msgs = _round_volume(op.op, fam)
+        per_record = self._record_payload(fn, op, scope, stack)
+        msgs = mult * round_msgs
+        out.append(Contribution(
+            fam.label, traced_op, traced_op, msgs, msgs * per_record,
+            fn.path, op.lineno, op.op,
+        ))
+
+    def _visit_split(self, fn: FunctionInfo, op: Op, scope: _Scope,
+                     fam: CommFamily, mult: SizeExpr,
+                     out: list[Contribution]) -> None:
+        by_call, _ = self._assign_maps(fn)
+        child = self._spawn_family(fn, op.lineno, fam, mult, out)
+        # a constant color puts every rank in one child communicator
+        color = None
+        for kw in op.call.keywords:
+            if kw.arg == "color":
+                color = kw.value
+        if not op.call.keywords and op.call.args:
+            color = op.call.args[0]
+        if isinstance(color, ast.Constant):
+            child.size = fam.size
+            child.count = fam.count
+        target = by_call.get(id(op.call))
+        if target is not None:
+            scope.comms[target] = child
+
+    def _spawn_family(self, fn: FunctionInfo, lineno: int,
+                      fam: CommFamily, mult: SizeExpr,
+                      out: list[Contribution]) -> CommFamily:
+        """Account one split's fingerprint allgather on the parent and
+        create the (data-dependent, size-unknown) child family."""
+        idx = fam.splits
+        fam.splits += 1
+        _traced, round_msgs = _round_volume("split", fam)
+        msgs = mult * round_msgs
+        out.append(Contribution(
+            fam.label, "allgather", "allgather", msgs,
+            msgs * SizeExpr.const(SPLIT_FINGERPRINT_BYTES),
+            fn.path, lineno, "split",
+        ))
+        reason = (f"data-dependent split color at {fn.path}:{lineno}")
+        return CommFamily(
+            f"{fam.label}/{idx}.*",
+            SizeExpr.unknown(reason), SizeExpr.unknown(reason),
+        )
+
+    def _record_payload(self, fn: FunctionInfo, op: Op, scope: _Scope,
+                        stack: tuple) -> SizeExpr:
+        """Wire bytes of one traced record of a collective site."""
+        payload = self._op_arg(op.call, 0)
+        if payload is None:
+            return SizeExpr.unknown(
+                f"{op.op} payload at {fn.path}:{op.lineno}")
+        if op.op in ("scatter", "alltoall"):
+            return self._per_element(fn, payload, scope, stack, 0)
+        return self._payload(fn, payload, scope, stack, 0)
+
+    @staticmethod
+    def _op_arg(call: ast.Call, index: int) -> ast.AST | None:
+        if index < len(call.args):
+            arg = call.args[index]
+            return None if isinstance(arg, ast.Starred) else arg
+        return None
+
+    def _send_kind(self, call: ast.Call) -> str:
+        for kw in call.keywords:
+            if kw.arg == "kind":
+                if (isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)):
+                    return kw.value.value
+                return "p2p"
+        return "p2p"
+
+    # -- call sites --------------------------------------------------------
+
+    def _visit_call(self, fn: FunctionInfo, site: CallSite,
+                    scope: _Scope, mult: SizeExpr,
+                    out: list[Contribution], stack: tuple,
+                    loops: tuple) -> None:
+        if site.call is None:
+            return
+        if site.qualname.endswith(".ProcessGrid.create"):
+            self._grid_create(fn, site, scope, mult, out)
+            return
+        if (site.qualname in stack or len(stack) >= _INLINE_DEPTH
+                or site.qualname not in self._active):
+            return
+        callee = self.index.functions.get(site.qualname)
+        if callee is None:
+            return
+        sub = self._bind_call(fn, callee, site.call, scope)
+        self._walk_items(
+            callee, self.schedule.trees.get(site.qualname, ()), sub,
+            mult, out, stack + (site.qualname,), loops=(),
+        )
+        # bind a returned communicator / grid object, if recognisable
+        by_call, _ = self._assign_maps(fn)
+        target = by_call.get(id(site.call))
+        if target is not None:
+            ret = self._returned_object(callee, sub)
+            if isinstance(ret, CommFamily):
+                scope.comms[target] = ret
+            elif isinstance(ret, dict):
+                scope.objects[target] = ret
+
+    def _bind_call(self, caller: FunctionInfo, callee: FunctionInfo,
+                   call: ast.Call, scope: _Scope) -> _Scope:
+        sub = _Scope()
+        params = list(callee.params)
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        pairs: list[tuple[str, ast.AST]] = []
+        for param, arg in zip(params, call.args):
+            if not isinstance(arg, ast.Starred):
+                pairs.append((param, arg))
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in params:
+                pairs.append((kw.arg, kw.value))
+        for param, arg in pairs:
+            path = _dotted(arg)
+            fam = scope.lookup_comm(path)
+            if fam is not None:
+                sub.comms[param] = fam
+            elif path is not None and path in scope.objects:
+                sub.objects[param] = scope.objects[path]
+            else:
+                sub.values[param] = self._int_value(caller, arg, scope)
+        return sub
+
+    def _returned_object(self, callee: FunctionInfo, scope: _Scope):
+        returns = [stmt for stmt in callee.own_statements()
+                   if isinstance(stmt, ast.Return)
+                   and stmt.value is not None]
+        if len(returns) != 1:
+            return None
+        value = returns[0].value
+        path = _dotted(value)
+        fam = scope.lookup_comm(path)
+        if fam is not None:
+            return fam
+        if path is not None and path in scope.objects:
+            return scope.objects[path]
+        return None
+
+    def _grid_create(self, fn: FunctionInfo, site: CallSite,
+                     scope: _Scope, mult: SizeExpr,
+                     out: list[Contribution]) -> None:
+        """``ProcessGrid.create(comm)`` as a modeled primitive: two
+        splits on the parent (row then column sub-communicators of a
+        ``sqrt(p) x sqrt(p)`` grid) and a grid object whose ``q``,
+        ``row_comm`` and ``col_comm`` attributes resolve downstream."""
+        call = site.call
+        arg = None
+        if call.args:
+            arg = call.args[0]
+        else:
+            for kw in call.keywords:
+                if kw.arg == "comm":
+                    arg = kw.value
+        fam = scope.lookup_comm(_dotted(arg)) if arg is not None \
+            else None
+        if fam is None:
+            u = SizeExpr.unknown(
+                f"grid over unresolved communicator at "
+                f"{fn.path}:{site.lineno}")
+            out.append(Contribution(
+                "<unresolved>", "allgather", "allgather", u, u,
+                fn.path, site.lineno, "split",
+            ))
+            return
+        side = fam.size.sqrt()
+        children: list[CommFamily] = []
+        for _ in range(2):
+            child = self._spawn_family(fn, site.lineno, fam, mult, out)
+            child.size = side
+            child.count = fam.count * fam.size.div(side)
+            children.append(child)
+        by_call, _ = self._assign_maps(fn)
+        target = by_call.get(id(call))
+        if target is not None:
+            scope.objects[target] = {
+                "comm": fam,
+                "row_comm": children[0],
+                "col_comm": children[1],
+                "q": side,
+            }
+
+    # -- integer-valued expressions ----------------------------------------
+
+    def _int_value(self, fn: FunctionInfo, expr: ast.AST,
+                   scope: _Scope) -> SizeExpr:
+        if isinstance(expr, ast.Constant) and isinstance(
+                expr.value, (int, float)) and not isinstance(
+                expr.value, bool):
+            return SizeExpr.const(expr.value)
+        if isinstance(expr, ast.Name):
+            bound = scope.values.get(expr.id)
+            if bound is not None:
+                return bound
+            hit = self.index.resolve_int_constant(fn.module, expr)
+            if hit is not None:
+                return SizeExpr.const(hit[1])
+            return SizeExpr.unknown(
+                f"unresolved name '{expr.id}' at "
+                f"{fn.path}:{getattr(expr, 'lineno', 0)}")
+        if isinstance(expr, ast.Attribute):
+            if expr.attr == "size":
+                fam = scope.lookup_comm(_dotted(expr.value))
+                if fam is not None:
+                    return fam.size
+            base = _dotted(expr.value)
+            if base is not None:
+                obj = scope.objects.get(base)
+                if obj is not None:
+                    val = obj.get(expr.attr)
+                    if isinstance(val, SizeExpr):
+                        return val
+            hit = self.index.resolve_int_constant(fn.module, expr)
+            if hit is not None:
+                return SizeExpr.const(hit[1])
+            return SizeExpr.unknown(
+                f"unresolved attribute "
+                f"'{_dotted(expr) or expr.attr}' at "
+                f"{fn.path}:{getattr(expr, 'lineno', 0)}")
+        if isinstance(expr, ast.BinOp):
+            left = self._int_value(fn, expr.left, scope)
+            right = self._int_value(fn, expr.right, scope)
+            if isinstance(expr.op, ast.Add):
+                return left + right
+            if isinstance(expr.op, ast.Sub):
+                return left - right
+            if isinstance(expr.op, ast.Mult):
+                return left * right
+            if isinstance(expr.op, (ast.Div, ast.FloorDiv)):
+                return left.div(right)
+            if isinstance(expr.op, ast.Pow):
+                exp = right.constant_value()
+                if exp is not None and exp == 2.0:
+                    return left * left
+        if isinstance(expr, ast.UnaryOp) and isinstance(
+                expr.op, ast.USub):
+            return (self._int_value(fn, expr.operand, scope)
+                    * SizeExpr.const(-1))
+        return SizeExpr.unknown(
+            f"unresolved size expression at "
+            f"{fn.path}:{getattr(expr, 'lineno', 0)}")
+
+    # -- payload sizes -----------------------------------------------------
+
+    def _payload(self, fn: FunctionInfo, expr: ast.AST, scope: _Scope,
+                 stack: tuple, depth: int) -> SizeExpr:
+        """Wire bytes of the value ``expr`` evaluates to, by the exact
+        rule :func:`repro.mpisim.tracing.payload_bytes` charges."""
+        if depth > _PAYLOAD_DEPTH:
+            return SizeExpr.unknown(
+                f"payload nested too deep at "
+                f"{fn.path}:{getattr(expr, 'lineno', 0)}")
+        if isinstance(expr, ast.Constant):
+            return SizeExpr.const(payload_bytes(expr.value))
+        if isinstance(expr, ast.Call):
+            return self._call_payload(fn, expr, scope, stack, depth)
+        if isinstance(expr, ast.Name):
+            value = self._unique_assignment(fn, expr.id)
+            if value is not None:
+                return self._payload(fn, value, scope, stack,
+                                     depth + 1)
+            bound = scope.values.get(expr.id)
+            if bound is not None:
+                const = bound.constant_value()
+                if const is not None and float(const).is_integer():
+                    return SizeExpr.const(payload_bytes(int(const)))
+            hit = self.index.resolve_int_constant(fn.module, expr)
+            if hit is not None:
+                return SizeExpr.const(payload_bytes(hit[1]))
+            return SizeExpr.unknown(
+                f"payload '{expr.id}' at "
+                f"{fn.path}:{getattr(expr, 'lineno', 0)}")
+        if isinstance(expr, (ast.List, ast.Tuple)):
+            total = SizeExpr.const(10)   # pickle list envelope
+            for elt in expr.elts:
+                total = total + self._payload(fn, elt, scope, stack,
+                                              depth + 1)
+            return total
+        return SizeExpr.unknown(
+            f"payload expression at "
+            f"{fn.path}:{getattr(expr, 'lineno', 0)}")
+
+    def _call_payload(self, fn: FunctionInfo, call: ast.Call,
+                      scope: _Scope, stack: tuple,
+                      depth: int) -> SizeExpr:
+        ctor = self._np_ctor(fn, call)
+        if ctor is not None:
+            return self._ndarray_size(fn, call, ctor, scope)
+        callee = self.index.resolve_call(fn, fn.module, call)
+        if callee is None or callee.qualname in stack:
+            return SizeExpr.unknown(
+                f"payload from unresolved call at "
+                f"{fn.path}:{call.lineno}")
+        returns = [stmt for stmt in callee.own_statements()
+                   if isinstance(stmt, ast.Return)
+                   and stmt.value is not None]
+        if len(returns) != 1:
+            return SizeExpr.unknown(
+                f"payload via {callee.qualname} "
+                f"(no unique return)")
+        sub = self._bind_call(fn, callee, call, scope)
+        return self._payload(callee, returns[0].value, sub,
+                             stack + (callee.qualname,), depth + 1)
+
+    def _np_ctor(self, fn: FunctionInfo, call: ast.Call) -> str | None:
+        func = call.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.attr in _NP_CTORS):
+            base = func.value.id
+            if base == "np" or fn.module.imports.get(base) == "numpy":
+                return func.attr
+        return None
+
+    def _ndarray_size(self, fn: FunctionInfo, call: ast.Call,
+                      ctor: str, scope: _Scope) -> SizeExpr:
+        count = self._element_count(fn, call, ctor, scope)
+        itemsize = self._dtype_itemsize(call)
+        if itemsize is None:
+            return SizeExpr.unknown(
+                f"unresolved dtype at {fn.path}:{call.lineno}")
+        return (count * SizeExpr.const(itemsize)
+                + SizeExpr.const(ARRAY_HEADER_BYTES))
+
+    def _element_count(self, fn: FunctionInfo, call: ast.Call,
+                       ctor: str, scope: _Scope) -> SizeExpr:
+        args = [a for a in call.args
+                if not isinstance(a, ast.Starred)]
+        if not args:
+            return SizeExpr.unknown(
+                f"array shape at {fn.path}:{call.lineno}")
+        if ctor == "arange":
+            if len(args) == 1:
+                return self._int_value(fn, args[0], scope)
+            if len(args) >= 2:
+                return (self._int_value(fn, args[1], scope)
+                        - self._int_value(fn, args[0], scope))
+        shape = args[0]
+        if isinstance(shape, (ast.Tuple, ast.List)):
+            count = _ONE
+            for dim in shape.elts:
+                count = count * self._int_value(fn, dim, scope)
+            return count
+        return self._int_value(fn, shape, scope)
+
+    def _dtype_itemsize(self, call: ast.Call) -> int | None:
+        dtype: ast.AST | None = None
+        for kw in call.keywords:
+            if kw.arg == "dtype":
+                dtype = kw.value
+        if dtype is None:
+            # zeros/ones/empty/full default to float64; arange over
+            # ints defaults to the 8-byte platform int
+            return 8
+        name = None
+        if isinstance(dtype, ast.Attribute):
+            name = dtype.attr
+        elif isinstance(dtype, ast.Name):
+            name = dtype.id
+        elif (isinstance(dtype, ast.Constant)
+                and isinstance(dtype.value, str)):
+            name = dtype.value
+        if name is None:
+            return None
+        try:
+            import numpy as np
+            return int(np.dtype(name).itemsize)
+        except (TypeError, ValueError):
+            return None
+
+    def _per_element(self, fn: FunctionInfo, expr: ast.AST,
+                     scope: _Scope, stack: tuple,
+                     depth: int) -> SizeExpr:
+        """Wire bytes of *one element* of a scatter/alltoall payload."""
+        if depth > _PAYLOAD_DEPTH:
+            return SizeExpr.unknown(
+                f"per-element payload nested too deep at "
+                f"{fn.path}:{getattr(expr, 'lineno', 0)}")
+        if isinstance(expr, ast.ListComp) and len(expr.generators) == 1:
+            return self._payload(fn, expr.elt, scope, stack, depth + 1)
+        if isinstance(expr, (ast.List, ast.Tuple)) and expr.elts:
+            return self._payload(fn, expr.elts[0], scope, stack,
+                                 depth + 1)
+        if isinstance(expr, ast.Name):
+            value = self._unique_assignment(fn, expr.id)
+            if value is not None:
+                return self._per_element(fn, value, scope, stack,
+                                         depth + 1)
+        return SizeExpr.unknown(
+            f"per-element payload at "
+            f"{fn.path}:{getattr(expr, 'lineno', 0)}")
+
+    # -- loop trip counts --------------------------------------------------
+
+    def _loop_trip(self, fn: FunctionInfo, loop: Loop,
+                   scope: _Scope) -> SizeExpr:
+        node = loop.node
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            return SizeExpr.unknown(
+                f"while loop at {fn.path}:{loop.lineno}")
+        it = node.iter
+        if (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id == "range"):
+            args = [a for a in it.args
+                    if not isinstance(a, ast.Starred)]
+            if len(args) == 1:
+                return self._int_value(fn, args[0], scope)
+            if len(args) >= 2:
+                trip = (self._int_value(fn, args[1], scope)
+                        - self._int_value(fn, args[0], scope))
+                if len(args) == 3:
+                    step = self._int_value(fn, args[2], scope)
+                    return trip.div(step)
+                return trip
+        if (isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Name)
+                and it.func.id == "enumerate" and it.args):
+            return self._loop_len(fn, it.args[0], scope, loop.lineno)
+        return self._loop_len(fn, it, scope, loop.lineno)
+
+    def _loop_len(self, fn: FunctionInfo, it: ast.AST, scope: _Scope,
+                  lineno: int) -> SizeExpr:
+        if isinstance(it, (ast.List, ast.Tuple)):
+            return SizeExpr.const(len(it.elts))
+        return SizeExpr.unknown(
+            f"data-dependent loop at {fn.path}:{lineno}")
+
+    # -- comm-performance lints --------------------------------------------
+
+    def _flag(self, fn: FunctionInfo, lineno: int, code: str,
+              message: str) -> None:
+        if _excluded(fn.path):
+            return
+        key = (fn.path, lineno, code)
+        if key not in self._findings:
+            self._findings[key] = Finding(fn.path, lineno, code,
+                                          message)
+
+    def _site_checks(self, fn: FunctionInfo, op: Op, scope: _Scope,
+                     loops: tuple, stack: tuple) -> None:
+        call = op.call
+        payload = self._op_arg(call, 0)
+
+        if op.op in _UNIFORM_REDUNDANT_OPS and payload is not None:
+            desc = self._uniform_desc(fn, payload)
+            if desc is not None:
+                self._flag(
+                    fn, op.lineno, "redundant-collective",
+                    f"{op.op}() of the rank-uniform payload {desc} in "
+                    f"{fn.qualname}: every rank already holds the "
+                    f"value, so the collective only costs latency; "
+                    f"compute it locally or allowlist with "
+                    f"'# spmd: redundant-collective-ok (reason)'",
+                )
+
+        if (op.kind == "collective"
+                and op.op not in ("barrier", "split")):
+            for target, trip in loops:
+                scales = any(s in (SYM_P, SYM_Q)
+                             for syms, _c in trip.terms for s in syms)
+                if not scales:
+                    continue
+                if target is not None and target in _names_in(call):
+                    continue
+                self._flag(
+                    fn, op.lineno, "grid-loop-collective",
+                    f"{op.op}() inside a loop of {trip.render()} "
+                    f"grid-scaled iterations in {fn.qualname} uses no "
+                    f"loop-dependent argument: the repeated collective "
+                    f"is hoistable; allowlist with "
+                    f"'# spmd: grid-loop-collective-ok (reason)'",
+                )
+                break
+
+        if op.op in SEND_OPS and payload is not None and loops:
+            target = loops[-1][0]
+            if target is not None and self._is_element_of(payload,
+                                                          target):
+                self._flag(
+                    fn, op.lineno, "per-element-send",
+                    f"{op.op}() in {fn.qualname} ships one element of "
+                    f"the iterated sequence per message: per-message "
+                    f"latency dominates; batch the elements into one "
+                    f"payload or use alltoall; allowlist with "
+                    f"'# spmd: per-element-send-ok (reason)'",
+                )
+
+        if op.op in SEND_OPS and payload is not None:
+            if self._is_ndarray_list(fn, payload, 0):
+                self._flag(
+                    fn, op.lineno, "pickled-envelope",
+                    f"{op.op}() in {fn.qualname} sends a list of "
+                    f"ndarrays: the general pickle codec copies each "
+                    f"element; pack them into one flat ndarray to use "
+                    f"the zero-copy buffer path; allowlist with "
+                    f"'# spmd: pickled-envelope-ok (reason)'",
+                )
+
+    def _uniform_desc(self, fn: FunctionInfo,
+                      payload: ast.AST) -> str | None:
+        """A rendering of the payload if it is syntactically uniform
+        across ranks (literal or module constant), else ``None``."""
+        if isinstance(payload, ast.Constant):
+            return repr(payload.value)
+        hit = self.index.resolve_int_constant(fn.module, payload)
+        if hit is not None:
+            identity, value = hit
+            return f"{identity.rsplit('.', 1)[-1]} (= {value})"
+        return None
+
+    @staticmethod
+    def _is_element_of(payload: ast.AST, target: str) -> bool:
+        if isinstance(payload, ast.Name) and payload.id == target:
+            return True
+        if isinstance(payload, ast.Subscript):
+            return target in _names_in(payload.slice)
+        return False
+
+    def _is_ndarray_list(self, fn: FunctionInfo, expr: ast.AST,
+                         depth: int) -> bool:
+        if depth > _PAYLOAD_DEPTH:
+            return False
+        if isinstance(expr, ast.List) and expr.elts:
+            return all(self._is_ndarrayish(fn, e, depth + 1)
+                       for e in expr.elts)
+        if isinstance(expr, ast.ListComp):
+            return self._is_ndarrayish(fn, expr.elt, depth + 1)
+        if isinstance(expr, ast.Name):
+            value = self._unique_assignment(fn, expr.id)
+            if value is not None:
+                return self._is_ndarray_list(fn, value, depth + 1)
+        return False
+
+    def _is_ndarrayish(self, fn: FunctionInfo, expr: ast.AST,
+                       depth: int) -> bool:
+        if depth > _PAYLOAD_DEPTH:
+            return False
+        if isinstance(expr, ast.Call):
+            if self._np_ctor(fn, expr) is not None:
+                return True
+            callee = self.index.resolve_call(fn, fn.module, expr)
+            if callee is not None:
+                returns = [s for s in callee.own_statements()
+                           if isinstance(s, ast.Return)
+                           and s.value is not None]
+                if len(returns) == 1:
+                    return self._is_ndarrayish(callee,
+                                               returns[0].value,
+                                               depth + 1)
+        if isinstance(expr, ast.Name):
+            value = self._unique_assignment(fn, expr.id)
+            if value is not None:
+                return self._is_ndarrayish(fn, value, depth + 1)
+        return False
+
+
+def _round_volume(op: str, fam: CommFamily
+                  ) -> tuple[str, SizeExpr]:
+    """``(traced op name, records per collective round)`` for one round
+    executed by every communicator of the family — mirrors the tracer:
+    allreduce/exscan/split go through the base-class allgather."""
+    size, count = fam.size, fam.count
+    fan = size - _ONE
+    if op == "bcast":
+        return "bcast", count * fan
+    if op in ("allgather", "allreduce", "exscan", "split"):
+        return "allgather", count * size * fan
+    if op == "alltoall":
+        return "alltoall", count * size * fan
+    if op in ("gather", "reduce", "scatter"):
+        return op, count * fan
+    return op, SizeExpr.unknown(f"unmodeled collective {op}")
+
+
+def _iter_ops(items):
+    for it in items:
+        if isinstance(it, Op):
+            yield it
+        elif isinstance(it, Branch):
+            yield from _iter_ops(it.then)
+            yield from _iter_ops(it.orelse)
+        elif isinstance(it, Loop):
+            yield from _iter_ops(it.body)
+
+
+# ---------------------------------------------------------------------------
+# whole-project driver
+# ---------------------------------------------------------------------------
+
+
+def analyze_sources(
+    named_sources: Sequence[tuple[str, str]]
+) -> tuple[CommCostAnalysis, list[Finding]]:
+    """Build the analysis over ``(path, source)`` pairs and return it
+    with the pragma-filtered findings (plus this tool's unused-pragma
+    audit), sorted and ready to report."""
+    index = ProjectIndex.build_from_sources(named_sources)
+    graph = CallGraph(index)
+    taint = RankTaint(index, graph)
+    schedule = ScheduleAnalysis(index, graph, taint)
+    cc = CommCostAnalysis(index, graph, taint, schedule)
+
+    raw = cc.findings()
+    # thread suppressions through the shared per-file pragma indexes
+    # (the lint checkers run for pragma bookkeeping only)
+    _lint_findings, file_lints = run_core_lint(named_sources)
+    pragmas = {fl.path: fl.pragmas for fl in file_lints}
+    findings = []
+    for f in raw:
+        px = pragmas.get(f.path)
+        if px is not None and px.suppressed(f.code, f.line):
+            continue
+        findings.append(f)
+    for fl in file_lints:
+        findings.extend(
+            fl.pragmas.unused_findings(COMMCOST_SOLE_CODES))
+    findings.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+    return cc, findings
+
+
+# ---------------------------------------------------------------------------
+# --check: predicted vs traced
+# ---------------------------------------------------------------------------
+
+_SMOKE_ENTRY = "repro.core.smoke.smoke_rank"
+
+
+def run_check(cc: CommCostAnalysis, backend: str, nranks: int,
+              tolerance: float) -> dict:
+    """Run the smoke pipeline under a tracer and diff the static
+    prediction per ``(communicator family, op)`` group."""
+    from ..core.smoke import run_smoke
+    from ..mpisim.tracing import CommTracer
+    from ..perfmodel.calibrate import calibrate_comm_model
+
+    if _SMOKE_ENTRY not in cc.index.functions:
+        return {"ok": False, "error": f"{_SMOKE_ENTRY} not in the "
+                f"analyzed sources (run on the full repro tree)"}
+
+    tracer = CommTracer()
+    run_smoke(nranks, tracer=tracer, comm_backend=backend)
+    summary = tracer.summary()
+
+    traced: dict[tuple[str, str], dict[str, float]] = {}
+    for group in summary["groups"]:
+        key = (normalize_comm_label(group["comm"]), group["op"])
+        acc = traced.setdefault(key, {"messages": 0, "bytes": 0})
+        acc["messages"] += group["messages"]
+        acc["bytes"] += group["bytes"]
+
+    cost = cc.entry_cost(_SMOKE_ENTRY)
+    predicted = cost.groups()
+
+    rows: list[dict] = []
+    ok = True
+    for key in sorted(set(traced) | set(predicted)):
+        comm, op = key
+        row: dict = {"comm": comm, "op": op}
+        pred = predicted.get(key)
+        meas = traced.get(key)
+        if meas is not None:
+            row["traced"] = {"messages": meas["messages"],
+                             "bytes": meas["bytes"]}
+        if pred is None:
+            row["status"] = "untracked"   # traced but never predicted
+            ok = False
+            rows.append(row)
+            continue
+        msgs, nbytes = pred
+        unknowns = sorted(set(msgs.unknowns + nbytes.unknowns))
+        row["predicted"] = {
+            "messages": msgs.evaluate(nranks),
+            "bytes": nbytes.evaluate(nranks),
+            "messages_form": msgs.render(),
+            "bytes_form": nbytes.render(),
+        }
+        if unknowns:
+            row["status"] = "unresolved"
+            row["unknowns"] = unknowns
+            rows.append(row)
+            continue
+        if meas is None:
+            if msgs.evaluate(nranks) > 0:
+                row["status"] = "overpredicted"
+                ok = False
+            else:
+                row["status"] = "ok"
+            rows.append(row)
+            continue
+        errs = []
+        for field_name in ("messages", "bytes"):
+            want = meas[field_name]
+            got = row["predicted"][field_name]
+            rel = abs(got - want) / want if want else abs(got)
+            errs.append(rel)
+        row["relative_error"] = {"messages": errs[0], "bytes": errs[1]}
+        if max(errs) <= tolerance:
+            row["status"] = "ok"
+        else:
+            row["status"] = "mismatch"
+            ok = False
+        rows.append(row)
+
+    model = calibrate_comm_model(
+        backend=backend if backend in ("sim", "mp") else "sim")
+    resolved_msgs = SizeExpr(cost.msgs.terms)
+    resolved_bytes = SizeExpr(cost.nbytes.terms)
+    return {
+        "ok": ok,
+        "backend": backend,
+        "nranks": nranks,
+        "tolerance": tolerance,
+        "entry": _SMOKE_ENTRY,
+        "groups": rows,
+        "calibration": model.as_dict(),
+        "predicted_seconds": model.seconds(
+            resolved_msgs.evaluate(nranks),
+            resolved_bytes.evaluate(nranks),
+        ),
+        "traced_totals": {
+            "messages": summary["total_messages"],
+            "bytes": summary["total_bytes"],
+        },
+        "unknown_terms": list(cost.unknowns),
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis.commcost",
+        description="static communication-cost analyzer: symbolic "
+        "volume per SPMD entry, alpha-beta closed forms, and "
+        "comm-performance lints (exit 0 clean, 1 findings or failed "
+        "--check, 2 usage error)",
+    )
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to analyze (default: "
+                    "the installed repro package)")
+    ap.add_argument("--format", choices=("text", "json"),
+                    default="text",
+                    help="output format (json emits the "
+                    "repro.analysis.commcost/v1 document)")
+    ap.add_argument("--baseline", metavar="FILE",
+                    help="fail only on findings not fingerprinted in "
+                    "this committed baseline file")
+    ap.add_argument("--write-baseline", metavar="FILE",
+                    help="accept the current findings: write them as "
+                    "the new baseline and exit 0")
+    ap.add_argument("--output", metavar="FILE",
+                    help="additionally write the JSON document to "
+                    "FILE (for CI artifacts)")
+    ap.add_argument("--check", action="store_true",
+                    help="run the 4-rank smoke pipeline under the "
+                    "runtime tracer and diff predicted vs traced "
+                    "volume per (communicator, op)")
+    ap.add_argument("--backend", default="sim",
+                    choices=("sim", "mp"),
+                    help="comm backend for --check (default: sim)")
+    ap.add_argument("--nranks", type=int, default=4,
+                    help="rank count for --check (perfect square; "
+                    "default 4)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="relative error gate for fully resolved "
+                    "groups in --check (default 0.25)")
+    args = ap.parse_args(argv)
+
+    named = read_tree(args.paths or None)
+    cc, findings = analyze_sources(named)
+    for path, (line, message) in cc.index.broken.items():
+        print(f"warning: {path}:{line}: skipped (syntax error: "
+              f"{message})", file=sys.stderr)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"wrote {args.write_baseline}: "
+              f"{len(findings)} accepted finding(s)")
+        return 0
+
+    baseline = None
+    new, suppressed = findings, 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: unusable baseline: {exc}", file=sys.stderr)
+            return 2
+        new, suppressed = diff_baseline(findings, baseline)
+
+    costs = cc.all_costs()
+    check = None
+    if args.check:
+        try:
+            check = run_check(cc, args.backend, args.nranks,
+                              args.tolerance)
+        except Exception as exc:  # surfaced, not swallowed: the gate
+            check = {"ok": False, "error": f"{type(exc).__name__}: "
+                     f"{exc}"}
+
+    counts: dict[str, int] = {"error": 0, "warning": 0}
+    for f in new:
+        counts[f.severity] = counts.get(f.severity, 0) + 1
+    doc: dict = {
+        "schema": COST_SCHEMA,
+        "tool": "commcost",
+        "entries": [c.as_json() for c in costs],
+        "findings": [f.as_json() for f in new],
+        "counts": counts,
+    }
+    if baseline is not None:
+        doc["baseline"] = {"applied": True, "size": len(baseline),
+                           "suppressed": suppressed}
+    if check is not None:
+        doc["check"] = check
+
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        _print_text(costs, new, suppressed, bool(args.baseline),
+                    check)
+
+    failed = bool(new) or (check is not None and not check["ok"])
+    return 1 if failed else 0
+
+
+def _print_text(costs: Sequence[EntryCost],
+                findings: Sequence[Finding], suppressed: int,
+                baselined: bool, check: dict | None) -> None:
+    for cost in costs:
+        print(f"entry {cost.entry}")
+        for (comm, op), (msgs, nbytes) in sorted(
+                cost.groups().items()):
+            print(f"  {comm:<22} {op:<10} msgs: {msgs.render():<28} "
+                  f"bytes: {nbytes.render()}")
+        print(f"  T(p) ~ {cost.seconds_form()}")
+        for reason in cost.unknowns:
+            print(f"  unknown: {reason}")
+        print()
+    if check is not None:
+        _print_check(check)
+    for f in findings:
+        print(f.render())
+    tail = f" ({suppressed} baselined)" if baselined else ""
+    print(f"{len(findings)} finding(s){tail}" if findings
+          else f"clean: no findings{tail}")
+
+
+def _print_check(check: dict) -> None:
+    if "error" in check:
+        print(f"check: FAILED ({check['error']})")
+        print()
+        return
+    print(f"check: {'ok' if check['ok'] else 'FAILED'} "
+          f"(backend={check['backend']}, p={check['nranks']}, "
+          f"tolerance={check['tolerance']:.0%})")
+    for row in check["groups"]:
+        line = f"  {row['comm']:<22} {row['op']:<10} {row['status']}"
+        pred, meas = row.get("predicted"), row.get("traced")
+        if pred is not None and meas is not None:
+            line += (f"  predicted {pred['messages']:.0f} msgs / "
+                     f"{pred['bytes']:.0f} B, traced "
+                     f"{meas['messages']} msgs / {meas['bytes']} B")
+        elif meas is not None:
+            line += (f"  traced {meas['messages']} msgs / "
+                     f"{meas['bytes']} B, no prediction")
+        if row.get("unknowns"):
+            line += f"  [{len(row['unknowns'])} unknown term(s)]"
+        print(line)
+    print(f"  predicted_seconds ~ {check['predicted_seconds']:.3e} "
+          f"(alpha={check['calibration']['alpha']:.3e}, "
+          f"beta={check['calibration']['beta']:.3e})")
+    for reason in check["unknown_terms"]:
+        print(f"  unknown: {reason}")
+    print()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

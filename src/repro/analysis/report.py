@@ -120,6 +120,30 @@ FINDING_CODES: Mapping[str, CodeInfo] = {
         "a shared-memory segment created by the mpcomm transport and "
         "never unlinked (runtime teardown audit)",
     ),
+    "redundant-collective": CodeInfo(
+        "warning", "redundant-collective-ok", ("commcost",),
+        "a bcast/allgather/allreduce whose payload is syntactically "
+        "rank-uniform (a literal, module constant, or never-reassigned "
+        "parameter) — every rank already holds the value",
+    ),
+    "grid-loop-collective": CodeInfo(
+        "warning", "grid-loop-collective-ok", ("commcost",),
+        "a collective inside a loop whose trip count scales with the "
+        "process grid, where no argument depends on the loop variable — "
+        "the calls are identical and hoistable",
+    ),
+    "per-element-send": CodeInfo(
+        "warning", "per-element-send-ok", ("commcost",),
+        "a send/isend inside a loop shipping one element of the "
+        "iterated sequence per message — alpha-dominated; batch into "
+        "one message or use alltoall",
+    ),
+    "pickled-envelope": CodeInfo(
+        "warning", "pickled-envelope-ok", ("commcost",),
+        "a send/isend whose payload is a list of ndarrays — the "
+        "general pickle codec copies each; pack into one flat ndarray "
+        "to use the zero-copy buffer path",
+    ),
 }
 
 

@@ -89,6 +89,9 @@ class CallSite:
 
     qualname: str
     lineno: int
+    #: the call expression itself, so downstream passes (the comm-cost
+    #: analyzer) can bind callee parameters to caller arguments
+    call: ast.Call | None = None
 
 
 @dataclass
@@ -97,6 +100,8 @@ class Branch:
     tainted: bool
     then: list = field(default_factory=list)
     orelse: list = field(default_factory=list)
+    #: the ``if`` statement (condition available to downstream passes)
+    node: ast.stmt | None = None
 
 
 @dataclass
@@ -104,6 +109,9 @@ class Loop:
     lineno: int
     tainted: bool
     body: list = field(default_factory=list)
+    #: the ``for``/``while`` statement, so the comm-cost analyzer can
+    #: resolve trip counts from the iterator expression
+    node: ast.stmt | None = None
 
 
 def _op_kind(op: str) -> str:
@@ -190,6 +198,7 @@ class ScheduleAnalysis:
                     self.taint.expr_tainted(fn, stmt.test),
                     self._body_items(fn, stmt.body),
                     self._body_items(fn, stmt.orelse),
+                    node=stmt,
                 ))
             elif isinstance(stmt, ast.While):
                 body = self._expr_items(fn, stmt.test)
@@ -198,6 +207,7 @@ class ScheduleAnalysis:
                 items.append(Loop(
                     stmt.lineno,
                     self.taint.expr_tainted(fn, stmt.test), body,
+                    node=stmt,
                 ))
             elif isinstance(stmt, (ast.For, ast.AsyncFor)):
                 items.extend(self._expr_items(fn, stmt.iter))
@@ -206,6 +216,7 @@ class ScheduleAnalysis:
                 items.append(Loop(
                     stmt.lineno,
                     self.taint.expr_tainted(fn, stmt.iter), body,
+                    node=stmt,
                 ))
             elif isinstance(stmt, ast.Try):
                 items.extend(self._body_items(fn, stmt.body))
@@ -235,7 +246,8 @@ class ScheduleAnalysis:
                 continue
             callee = self.index.resolve_call(fn, fn.module, node)
             if callee is not None:
-                items.append(CallSite(callee.qualname, node.lineno))
+                items.append(CallSite(callee.qualname, node.lineno,
+                                      call=node))
         return items
 
     # -- collective signatures (calls inlined, cycle-guarded) --------------

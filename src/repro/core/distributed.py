@@ -577,4 +577,23 @@ def run_pastis_distributed(
         candidate_pairs=sum(r.candidate_pairs for r in results),
         align_balance=balance_meta,
     )
+    if tracer is not None:
+        # traced runs also persist the α–β comm calibration (memoised per
+        # process) and the projected comm seconds of the traced volume,
+        # next to the alignment calibration above — the measured anchors
+        # the static predictor (repro.analysis.commcost) checks against
+        from ..perfmodel.calibrate import calibrate_comm_model  # no cycle
+
+        backend = config.comm_backend
+        comm_model = calibrate_comm_model(
+            backend=backend if backend in ("sim", "mp") else "sim"
+        )
+        graph.meta["commcost"] = {
+            "calibration": comm_model.as_dict(),
+            "traced_messages": tracer.total_messages,
+            "traced_bytes": tracer.total_bytes,
+            "predicted_comm_seconds": comm_model.seconds(
+                tracer.total_messages, tracer.total_bytes
+            ),
+        }
     return graph

@@ -1,0 +1,90 @@
+"""Four-rank smoke pipeline with fully statically-derivable comm volume.
+
+The real pipeline's payloads (sparse blocks, packed sequences) are
+data-dependent, so the static comm-cost predictor
+(:mod:`repro.analysis.commcost`) can only bound them with ``unknown``
+terms.  This miniature pipeline exercises the same communication shapes —
+grid creation (two splits), SUMMA-style per-stage row/column broadcasts,
+an allgather, a tagged ring exchange, a personalised all-to-all, an
+allreduce, an exclusive prefix scan and a barrier — with payload sizes
+that resolve completely from module constants and grid parameters.  It is
+the fixture of ``python -m repro.analysis.commcost --check``: the
+predictor's closed-form byte counts must land within tolerance of what
+the :class:`~repro.mpisim.tracing.CommTracer` measures on a real run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpisim.backend import CommBackend, run_spmd
+from ..mpisim.grid import ProcessGrid
+from ..mpisim.tracing import CommTracer
+
+__all__ = ["SMOKE_BLOCK", "SMOKE_VEC", "smoke_rank", "run_smoke"]
+
+#: side of the dense square block each SUMMA-style stage broadcasts
+SMOKE_BLOCK = 48
+#: element count of the vector payloads (ring / allgather / all-to-all)
+SMOKE_VEC = 256
+#: p2p tag of the ring exchange (unique across the repo's tag space)
+_TAG_RING = 91
+
+
+def make_block(n: int) -> np.ndarray:
+    """A dense ``n x n`` float64 block (payload helper: the predictor must
+    resolve broadcast sizes through this one-call-deep constructor)."""
+    return np.full((n, n), 1.0 / (n + 1), dtype=np.float64)
+
+
+def smoke_rank(comm: CommBackend) -> float:
+    """SPMD body: one pass over every communication shape of the real
+    pipeline, every payload statically sized.  Returns a checksum."""
+    grid = ProcessGrid.create(comm)
+    total = 0.0
+
+    # SUMMA-shaped stage loop: q row broadcasts + q column broadcasts of a
+    # fixed-size dense block (the rotating root mirrors summa.py)
+    for k in range(grid.q):
+        a_blk = grid.row_comm.bcast(make_block(SMOKE_BLOCK), root=k)
+        b_blk = grid.col_comm.bcast(make_block(SMOKE_BLOCK), root=k)
+        total += float(a_blk[0, 0]) + float(b_blk[0, 0])
+
+    # cooperative counts: allgather of a fixed-size int64 vector
+    counts = comm.allgather(np.full(SMOKE_VEC, comm.rank, dtype=np.int64))
+    total += float(sum(int(c[0]) for c in counts))
+
+    # ring exchange: every rank ships one fixed-size vector to its right
+    # neighbour (the sequence-exchange shape, without the data dependence)
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.send(np.arange(SMOKE_VEC, dtype=np.int64), dest=right,
+              tag=_TAG_RING)
+    ring = comm.recv(source=left, tag=_TAG_RING)
+    total += float(ring[-1])
+
+    # personalised all-to-all (the transpose/redistribution shape)
+    parts = [np.zeros(SMOKE_VEC, dtype=np.float64)
+             for _ in range(comm.size)]
+    shards = comm.alltoall(parts)
+    total += float(shards[0][0])
+
+    # scalar collectives: allreduce, exclusive scan, barrier
+    # spmd: redundant-collective-ok (fixture exercises every shape)
+    total += float(comm.allreduce(1, lambda a, b: a + b))
+    total += float(comm.exscan(2))
+    comm.barrier()
+    return total
+
+
+def run_smoke(
+    nranks: int = 4,
+    tracer: CommTracer | None = None,
+    comm_backend: str = "sim",
+    timeout: float = 120.0,
+) -> list[float]:
+    """Run the smoke pipeline; per-rank checksums in rank order."""
+    return run_spmd(
+        nranks, smoke_rank, tracer=tracer, comm_backend=comm_backend,
+        timeout=timeout,
+    )

@@ -58,10 +58,14 @@ _DEFAULT_TIMEOUT = DEFAULT_TIMEOUT
 class _Backend:
     """State shared by all ranks of one simulated communicator."""
 
-    def __init__(self, size: int, tracer: CommTracer | None, timeout: float):
+    def __init__(self, size: int, tracer: CommTracer | None, timeout: float,
+                 label: str = "world"):
         self.size = size
         self.tracer = tracer
         self.timeout = timeout
+        # communicator label for tracing ("world", "world/0.1", ...),
+        # matching the mp transport's comm ids and the sanitizer's labels
+        self.label = label
         self.lock = threading.Lock()
         self.cond = threading.Condition(self.lock)
         # mailboxes[dst] is a FIFO of (src, tag, payload)
@@ -109,7 +113,8 @@ class SimComm(CommBackend):
         if not 0 <= dest < be.size:
             raise ValueError(f"bad destination rank {dest}")
         if be.tracer is not None:
-            be.tracer.record(self.rank, dest, payload_bytes(obj), kind)
+            be.tracer.record(self.rank, dest, payload_bytes(obj), kind,
+                             be.label, "send")
         with be.cond:
             be.check_error()
             be.mailboxes[dest].append((self.rank, tag, obj))
@@ -216,7 +221,8 @@ class SimComm(CommBackend):
             size = payload_bytes(obj)
             for dst in range(be.size):
                 if dst != root:
-                    be.tracer.record(root, dst, size, "bcast")
+                    be.tracer.record(root, dst, size, "bcast", be.label,
+                                     "bcast")
         all_vals = self._sync_exchange(obj if self.rank == root else None)
         return all_vals[root]
 
@@ -226,13 +232,15 @@ class SimComm(CommBackend):
             size = payload_bytes(obj)
             for dst in range(be.size):
                 if dst != self.rank:
-                    be.tracer.record(self.rank, dst, size, "allgather")
+                    be.tracer.record(self.rank, dst, size, "allgather",
+                                     be.label, "allgather")
         return self._sync_exchange(obj)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         be = self._backend
         if self.rank != root and be.tracer is not None:
-            be.tracer.record(self.rank, root, payload_bytes(obj), "gather")
+            be.tracer.record(self.rank, root, payload_bytes(obj), "gather",
+                             be.label, "gather")
         vals = self._sync_exchange(obj)
         return vals if self.rank == root else None
 
@@ -245,7 +253,8 @@ class SimComm(CommBackend):
                 for dst in range(be.size):
                     if dst != root:
                         be.tracer.record(
-                            root, dst, payload_bytes(objs[dst]), "scatter"
+                            root, dst, payload_bytes(objs[dst]), "scatter",
+                            be.label, "scatter"
                         )
         vals = self._sync_exchange(list(objs) if self.rank == root else None)
         return vals[root][self.rank]
@@ -260,7 +269,8 @@ class SimComm(CommBackend):
             for dst in range(be.size):
                 if dst != self.rank:
                     be.tracer.record(
-                        self.rank, dst, payload_bytes(objs[dst]), "alltoall"
+                        self.rank, dst, payload_bytes(objs[dst]), "alltoall",
+                        be.label, "alltoall"
                     )
         mat = self._sync_exchange(list(objs))
         return [mat[src][self.rank] for src in range(be.size)]
@@ -268,7 +278,8 @@ class SimComm(CommBackend):
     def reduce(self, obj: Any, op: Callable[[Any, Any], Any], root: int = 0):
         be = self._backend
         if self.rank != root and be.tracer is not None:
-            be.tracer.record(self.rank, root, payload_bytes(obj), "reduce")
+            be.tracer.record(self.rank, root, payload_bytes(obj), "reduce",
+                             be.label, "reduce")
         vals = self._sync_exchange(obj)
         if self.rank != root:
             return None
@@ -321,7 +332,8 @@ class SimComm(CommBackend):
             reg_key = (call_idx, color)
             sub = be.split_registry.get(reg_key)
             if sub is None:
-                sub = _Backend(len(group), be.tracer, be.timeout)
+                sub = _Backend(len(group), be.tracer, be.timeout,
+                               label=f"{be.label}/{call_idx}.{color}")
                 be.split_registry[reg_key] = sub
         self.barrier()
         return SimComm(sub, new_rank)

@@ -333,7 +333,8 @@ class MPComm(CommBackend):
         if not 0 <= dest < self.size:
             raise ValueError(f"bad destination rank {dest}")
         if tp.tracer is not None:
-            tp.tracer.record(self.rank, dest, payload_bytes(obj), kind)
+            tp.tracer.record(self.rank, dest, payload_bytes(obj), kind,
+                             self._comm_id, "send")
         tp.send_env(
             self._comm_id, _CHAN_P2P, self._ranks[dest], self.rank, tag, obj
         )
@@ -415,7 +416,8 @@ class MPComm(CommBackend):
             size = payload_bytes(obj)
             for dst in range(self.size):
                 if dst != root:
-                    tp.tracer.record(root, dst, size, "bcast")
+                    tp.tracer.record(root, dst, size, "bcast",
+                                     self._comm_id, "bcast")
         all_vals = self._coll_exchange(obj if self.rank == root else None)
         return all_vals[root]
 
@@ -425,13 +427,15 @@ class MPComm(CommBackend):
             size = payload_bytes(obj)
             for dst in range(self.size):
                 if dst != self.rank:
-                    tp.tracer.record(self.rank, dst, size, "allgather")
+                    tp.tracer.record(self.rank, dst, size, "allgather",
+                                     self._comm_id, "allgather")
         return self._coll_exchange(obj)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         tp = self._transport
         if self.rank != root and tp.tracer is not None:
-            tp.tracer.record(self.rank, root, payload_bytes(obj), "gather")
+            tp.tracer.record(self.rank, root, payload_bytes(obj), "gather",
+                             self._comm_id, "gather")
         vals = self._coll_exchange(obj)
         return vals if self.rank == root else None
 
@@ -444,7 +448,8 @@ class MPComm(CommBackend):
                 for dst in range(self.size):
                     if dst != root:
                         tp.tracer.record(
-                            root, dst, payload_bytes(objs[dst]), "scatter"
+                            root, dst, payload_bytes(objs[dst]), "scatter",
+                            self._comm_id, "scatter"
                         )
         vals = self._coll_exchange(
             list(objs) if self.rank == root else None
@@ -459,7 +464,8 @@ class MPComm(CommBackend):
             for dst in range(self.size):
                 if dst != self.rank:
                     tp.tracer.record(
-                        self.rank, dst, payload_bytes(objs[dst]), "alltoall"
+                        self.rank, dst, payload_bytes(objs[dst]), "alltoall",
+                        self._comm_id, "alltoall"
                     )
         mat = self._coll_exchange(list(objs))
         return [mat[src][self.rank] for src in range(self.size)]
@@ -468,7 +474,8 @@ class MPComm(CommBackend):
                root: int = 0) -> Any:
         tp = self._transport
         if self.rank != root and tp.tracer is not None:
-            tp.tracer.record(self.rank, root, payload_bytes(obj), "reduce")
+            tp.tracer.record(self.rank, root, payload_bytes(obj), "reduce",
+                             self._comm_id, "reduce")
         vals = self._coll_exchange(obj)
         if self.rank != root:
             return None

@@ -47,10 +47,13 @@ def _require_mpi():
 class MPIComm(CommBackend):
     """CommBackend over an mpi4py communicator (lowercase, pickle API)."""
 
-    def __init__(self, mpi_comm: Any, tracer: CommTracer | None = None):
+    def __init__(self, mpi_comm: Any, tracer: CommTracer | None = None,
+                 label: str = "world"):
         self._mpi = _require_mpi()
         self._comm = mpi_comm
         self._tracer = tracer
+        self._label = label
+        self._split_calls = 0
         self.rank = mpi_comm.Get_rank()
         self.size = mpi_comm.Get_size()
 
@@ -62,7 +65,8 @@ class MPIComm(CommBackend):
     def send(self, obj: Any, dest: int, tag: int = 0,
              kind: str = "p2p") -> None:
         if self._tracer is not None:
-            self._tracer.record(self.rank, dest, payload_bytes(obj), kind)
+            self._tracer.record(self.rank, dest, payload_bytes(obj), kind,
+                                self._label, "send")
         self._comm.send(obj, dest=dest, tag=tag)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
@@ -90,7 +94,8 @@ class MPIComm(CommBackend):
             size = payload_bytes(obj)
             for dst in range(self.size):
                 if dst != root:
-                    self._tracer.record(root, dst, size, "bcast")
+                    self._tracer.record(root, dst, size, "bcast",
+                                        self._label, "bcast")
         return self._comm.bcast(obj, root=root)
 
     def allgather(self, obj: Any) -> list[Any]:
@@ -98,13 +103,14 @@ class MPIComm(CommBackend):
             size = payload_bytes(obj)
             for dst in range(self.size):
                 if dst != self.rank:
-                    self._tracer.record(self.rank, dst, size, "allgather")
+                    self._tracer.record(self.rank, dst, size, "allgather",
+                                        self._label, "allgather")
         return list(self._comm.allgather(obj))
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         if self.rank != root and self._tracer is not None:
             self._tracer.record(self.rank, root, payload_bytes(obj),
-                                "gather")
+                                "gather", self._label, "gather")
         vals = self._comm.gather(obj, root=root)
         return list(vals) if self.rank == root else None
 
@@ -116,7 +122,8 @@ class MPIComm(CommBackend):
                 for dst in range(self.size):
                     if dst != root:
                         self._tracer.record(
-                            root, dst, payload_bytes(objs[dst]), "scatter"
+                            root, dst, payload_bytes(objs[dst]), "scatter",
+                            self._label, "scatter"
                         )
         return self._comm.scatter(
             list(objs) if self.rank == root else None, root=root
@@ -129,7 +136,8 @@ class MPIComm(CommBackend):
             for dst in range(self.size):
                 if dst != self.rank:
                     self._tracer.record(
-                        self.rank, dst, payload_bytes(objs[dst]), "alltoall"
+                        self.rank, dst, payload_bytes(objs[dst]), "alltoall",
+                        self._label, "alltoall"
                     )
         return list(self._comm.alltoall(list(objs)))
 
@@ -137,7 +145,7 @@ class MPIComm(CommBackend):
                root: int = 0) -> Any:
         if self.rank != root and self._tracer is not None:
             self._tracer.record(self.rank, root, payload_bytes(obj),
-                                "reduce")
+                                "reduce", self._label, "reduce")
         vals = self._comm.gather(obj, root=root)
         if self.rank != root:
             return None
@@ -149,10 +157,13 @@ class MPIComm(CommBackend):
     # -- sub-communicators -----------------------------------------------------
 
     def split(self, color: int, key: int | None = None) -> "MPIComm":
+        call_idx = self._split_calls
+        self._split_calls += 1
         if key is None:
             key = self.rank
         return MPIComm(
-            self._comm.Split(color, key), tracer=self._tracer
+            self._comm.Split(color, key), tracer=self._tracer,
+            label=f"{self._label}/{call_idx}.{color}"
         )
 
 

@@ -1,13 +1,22 @@
 """Communication tracing for the simulated MPI runtime.
 
 Every point-to-point message (and the point-to-point decomposition of each
-collective) is recorded as ``(src, dst, nbytes, kind)``.  The byte counts
-feed the :mod:`repro.perfmodel` α–β cost model, which is how functional runs
-at small rank counts calibrate the large-scale runtime extrapolations.
+collective) is recorded as ``(src, dst, nbytes, kind)`` plus the label of
+the communicator it travelled on and the API op that produced it.  The byte
+counts feed the :mod:`repro.perfmodel` α–β cost model, which is how
+functional runs at small rank counts calibrate the large-scale runtime
+extrapolations, and :meth:`CommTracer.summary` is the measured side of the
+static predictor's ``--check`` gate (:mod:`repro.analysis.commcost`).
+
+Communicator labels follow the scheme shared with the mp transport and the
+comm sanitizer: the world communicator is ``"world"`` and a communicator
+produced by the ``n``-th ``split`` call on parent ``L`` with ``color=c`` is
+``"L/n.c"``.
 """
 
 from __future__ import annotations
 
+import io
 import pickle
 import threading
 from collections import Counter
@@ -15,27 +24,64 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["payload_bytes", "MessageRecord", "CommTracer"]
+__all__ = ["payload_bytes", "MessageRecord", "CommTracer", "SUMMARY_SCHEMA"]
+
+#: schema identifier stamped into every :meth:`CommTracer.summary` document
+SUMMARY_SCHEMA = "repro.mpisim.commtrace/v1"
+
+#: nominal per-array header charged on top of the raw buffer bytes
+ARRAY_HEADER_BYTES = 64
+
+
+class _SizingPickler(pickle.Pickler):
+    """Pickler that *sizes* ndarray buffers instead of serialising them.
+
+    Each distinct ndarray object encountered in the payload graph is
+    charged ``nbytes + ARRAY_HEADER_BYTES`` exactly once — repeated
+    references to the same array (``(a, a)``), structured dtypes, and the
+    arrays the mp transport diverts through shared memory all count their
+    buffer a single time, matching what actually crosses the wire.
+    """
+
+    def __init__(self, file) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self.array_bytes = 0
+        self._seen: dict[int, int] = {}
+
+    def persistent_id(self, obj):
+        if isinstance(obj, np.ndarray):
+            key = id(obj)
+            idx = self._seen.get(key)
+            if idx is None:
+                idx = len(self._seen)
+                self._seen[key] = idx
+                self.array_bytes += int(obj.nbytes) + ARRAY_HEADER_BYTES
+            return ("nd", idx)
+        return None
 
 
 def payload_bytes(obj) -> int:
     """Estimated wire size of a Python payload.
 
-    NumPy arrays report their buffer size (plus a small header); other
-    objects are sized by their pickle, mirroring mpi4py's lowercase API.
+    NumPy arrays report their buffer size (plus a small header); raw byte
+    buffers their length; any other object is sized by pickling its
+    envelope while charging each distinct embedded ndarray buffer exactly
+    once (see :class:`_SizingPickler`), mirroring mpi4py's lowercase API.
     """
     if isinstance(obj, np.ndarray):
-        return int(obj.nbytes) + 64
+        return int(obj.nbytes) + ARRAY_HEADER_BYTES
     if isinstance(obj, (bytes, bytearray, memoryview)):
         return len(obj) + 16
-    if isinstance(obj, tuple) and all(isinstance(x, np.ndarray) for x in obj):
-        return sum(int(x.nbytes) for x in obj) + 64
+    buf = io.BytesIO()
+    sizer = _SizingPickler(buf)
     try:
-        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        sizer.dump(obj)
     except (pickle.PicklingError, TypeError, AttributeError):
         # unpicklable payload (locks, handles, ...): size it as a nominal
-        # envelope rather than crashing the tracer; anything else raises
-        return 64
+        # envelope plus whatever arrays were seen before the failure,
+        # rather than crashing the tracer; anything else raises
+        return 64 + sizer.array_bytes
+    return buf.tell() + sizer.array_bytes
 
 
 @dataclass(frozen=True)
@@ -43,7 +89,9 @@ class MessageRecord:
     src: int
     dst: int
     nbytes: int
-    kind: str  # "p2p", "bcast", "gather", ...
+    kind: str  # "p2p", "bcast", "gather", ... or a caller-supplied label
+    comm: str = "world"  # communicator label ("world", "world/0.1", ...)
+    op: str = ""  # API op that produced the traffic ("send", "bcast", ...)
 
 
 @dataclass
@@ -53,9 +101,19 @@ class CommTracer:
     records: list[MessageRecord] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def record(self, src: int, dst: int, nbytes: int, kind: str) -> None:
+    def record(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        kind: str,
+        comm: str = "world",
+        op: str = "",
+    ) -> None:
         with self._lock:
-            self.records.append(MessageRecord(src, dst, nbytes, kind))
+            self.records.append(
+                MessageRecord(src, dst, nbytes, kind, comm, op or kind)
+            )
 
     # -- summaries -----------------------------------------------------------
 
@@ -92,6 +150,42 @@ class CommTracer:
                 vol[r.src] += r.nbytes
                 vol[r.dst] += r.nbytes
             return max(vol.values(), default=0)
+
+    def summary(self) -> dict:
+        """Aggregate bytes and message counts per (comm label, op, kind).
+
+        The returned document follows the stable :data:`SUMMARY_SCHEMA`
+        layout — groups are sorted by (comm, op, kind) so two runs with the
+        same traffic produce byte-identical JSON::
+
+            {"schema": "repro.mpisim.commtrace/v1",
+             "total_messages": M, "total_bytes": B,
+             "groups": [{"comm": ..., "op": ..., "kind": ...,
+                         "messages": m, "bytes": b}, ...]}
+        """
+        with self._lock:
+            msgs: Counter[tuple[str, str, str]] = Counter()
+            nbytes: Counter[tuple[str, str, str]] = Counter()
+            for r in self.records:
+                key = (r.comm, r.op or r.kind, r.kind)
+                msgs[key] += 1
+                nbytes[key] += r.nbytes
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "total_messages": sum(msgs.values()),
+            "total_bytes": sum(nbytes.values()),
+            "groups": [
+                {
+                    "comm": comm,
+                    "op": op,
+                    "kind": kind,
+                    "messages": msgs[key],
+                    "bytes": nbytes[key],
+                }
+                for key in sorted(msgs)
+                for comm, op, kind in (key,)
+            ],
+        }
 
     def clear(self) -> None:
         with self._lock:

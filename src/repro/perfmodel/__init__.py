@@ -2,9 +2,14 @@
 dataset statistics, the α–β component cost model, and per-figure series
 generators."""
 
-from .calibrate import calibrate_alignment_model, calibrate_local_machine
+from .calibrate import (
+    calibrate_alignment_model,
+    calibrate_comm_model,
+    calibrate_local_machine,
+)
 from .costmodel import (
     AlignmentCostModel,
+    CommCostModel,
     ComponentTimes,
     alignment_time,
     last_total,
@@ -29,8 +34,10 @@ from .workloads import PAPER_DATASETS, DatasetSpec, metaclust
 
 __all__ = [
     "calibrate_alignment_model",
+    "calibrate_comm_model",
     "calibrate_local_machine",
     "AlignmentCostModel",
+    "CommCostModel",
     "ComponentTimes",
     "alignment_time",
     "last_total",

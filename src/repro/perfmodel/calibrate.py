@@ -34,10 +34,16 @@ from ..sparse.coo import COOMatrix
 from ..sparse.csr import CSRMatrix
 from ..sparse.semiring import COUNTING
 from ..sparse.spgemm import spgemm_hash
-from .costmodel import AlignmentCostModel
+from ..mpisim.backend import run_spmd
+from ..mpisim.tracing import payload_bytes
+from .costmodel import AlignmentCostModel, CommCostModel
 from .machine import MachineSpec
 
-__all__ = ["calibrate_alignment_model", "calibrate_local_machine"]
+__all__ = [
+    "calibrate_alignment_model",
+    "calibrate_comm_model",
+    "calibrate_local_machine",
+]
 
 
 # spmd: nondeterminism-ok (wall-clock measurement is the whole point:
@@ -155,6 +161,96 @@ def calibrate_alignment_model(
     return model
 
 
+# ---------------------------------------------------------------------------
+# comm backend α–β fit (the static comm-cost predictor's time axis)
+# ---------------------------------------------------------------------------
+
+#: memoised fits keyed by (backend, sizes, rounds): repeated analyses and
+#: pipeline runs pay the SPMD microbench once per process per backend
+_COMM_MODEL_CACHE: dict[tuple, CommCostModel] = {}
+
+#: p2p tags of the ping-pong microbench (module constants so the verifier
+#: can match the send/recv sites and the tag linter can audit collisions)
+_TAG_PING = 93
+_TAG_PONG = 94
+
+
+# spmd: nondeterminism-ok (wall-clock measurement is the whole point;
+# every rank times the same loop and the fit takes the slowest rank)
+def _pingpong_rank(comm, nbytes: int, rounds: int) -> float:
+    """SPMD body: ``rounds`` ping-pong round trips of an ``nbytes``
+    float64 payload between ranks 0 and 1; returns the loop seconds."""
+    payload = np.zeros(max(1, nbytes // 8), dtype=np.float64)
+    comm.barrier()
+    t0 = time.perf_counter()
+    if comm.rank == 0:
+        for _ in range(rounds):
+            comm.send(payload, dest=1, tag=_TAG_PING)
+            comm.recv(source=1, tag=_TAG_PONG)
+    else:
+        for _ in range(rounds):
+            echo = comm.recv(source=0, tag=_TAG_PING)
+            comm.send(echo, dest=0, tag=_TAG_PONG)
+    return time.perf_counter() - t0
+
+
+# spmd: nondeterminism-ok (wall-clock measurement is the whole point;
+# every rank times the same loop and the fit takes the slowest rank)
+def _allgather_rank(comm, nbytes: int, rounds: int) -> float:
+    """SPMD body: ``rounds`` allgathers of an ``nbytes`` float64 payload;
+    returns the loop seconds."""
+    payload = np.zeros(max(1, nbytes // 8), dtype=np.float64)
+    comm.barrier()
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        comm.allgather(payload)
+    return time.perf_counter() - t0
+
+
+def calibrate_comm_model(
+    backend: str = "sim",
+    sizes: tuple[int, ...] = (1_024, 262_144),
+    rounds: int = 8,
+    allgather_ranks: int = 4,
+) -> CommCostModel:
+    """Fit per-backend α (s/message) and β (s/byte) comm coefficients.
+
+    For every payload size, a 2-rank ping-pong and an
+    ``allgather_ranks``-rank allgather loop are timed *inside* the SPMD
+    body (startup cost excluded), and the wall seconds are regressed
+    against the **logical** message/byte counts the
+    :class:`~repro.mpisim.tracing.CommTracer` would record for the same
+    traffic — so predictions made from traced or statically derived
+    volumes multiply straight into seconds.  Cheap by construction
+    (fractions of a second on the sim backend; one process fleet spawn on
+    mp) and memoised per configuration.
+    """
+    key = (backend, tuple(sizes), int(rounds), int(allgather_ranks))
+    cached = _COMM_MODEL_CACHE.get(key)
+    if cached is not None:
+        return cached
+    points: list[tuple[float, int, float]] = []  # (bytes, msgs, secs)
+    for nbytes in sizes:
+        wire = payload_bytes(np.zeros(max(1, nbytes // 8),
+                                      dtype=np.float64))
+        times = run_spmd(2, _pingpong_rank, nbytes, rounds,
+                         comm_backend=backend)
+        nmsgs = 2 * rounds
+        points.append((float(wire * nmsgs), nmsgs, max(max(times), 1e-9)))
+        times = run_spmd(allgather_ranks, _allgather_rank, nbytes, rounds,
+                         comm_backend=backend)
+        nmsgs = rounds * allgather_ranks * (allgather_ranks - 1)
+        points.append((float(wire * nmsgs), nmsgs, max(max(times), 1e-9)))
+    # same design as _fit_mode with the roles swapped: β is the slope in
+    # bytes, α the slope in messages
+    rate, overhead = _fit_mode(points)
+    model = CommCostModel(
+        backend=backend, alpha=overhead, beta=1.0 / max(rate, 1e-9)
+    )
+    _COMM_MODEL_CACHE[key] = model
+    return model
+
+
 def calibrate_local_machine(seed: int = 0, cores: int = 1) -> MachineSpec:
     """Measure this interpreter's kernel rates and return a MachineSpec.
 
@@ -199,6 +295,8 @@ def calibrate_local_machine(seed: int = 0, cores: int = 1) -> MachineSpec:
     t_parse = _time(read_fasta_chunk, fasta, 0, len(fasta))
     parse_rate = len(fasta) / max(t_parse, 1e-9)
 
+    comm = calibrate_comm_model(backend="sim")
+
     return MachineSpec(
         name="python-local",
         cores_per_node=cores,
@@ -211,6 +309,7 @@ def calibrate_local_machine(seed: int = 0, cores: int = 1) -> MachineSpec:
         transpose_bytes_per_sec=2.0e8,
         stage_overhead=1e-4,
         seq_handling_cost=2e-6,
-        beta=1.0 / 2.0e9,
+        beta=comm.beta,
         serial_output_bytes_per_sec=2.0e8,
+        comm_alpha=comm.alpha,
     )

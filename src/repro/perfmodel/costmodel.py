@@ -34,6 +34,7 @@ from .workloads import DatasetSpec
 
 __all__ = [
     "AlignmentCostModel",
+    "CommCostModel",
     "ComponentTimes",
     "pastis_components",
     "pastis_total",
@@ -115,6 +116,50 @@ class AlignmentCostModel:
 
     @classmethod
     def from_dict(cls, d: dict) -> "AlignmentCostModel":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Calibrated α–β communication coefficients of one comm backend.
+
+    Fitted by :func:`repro.perfmodel.calibrate.calibrate_comm_model` from
+    ping-pong and allgather microbenchmarks:
+
+        ``seconds ≈ nmsgs * alpha + nbytes * beta``
+
+    where ``nmsgs`` / ``nbytes`` count *logical* traced messages — the
+    point-to-point decomposition the
+    :class:`~repro.mpisim.tracing.CommTracer` records and the static
+    predictor (:mod:`repro.analysis.commcost`) derives — so a static byte
+    prediction multiplies straight into projected wall time.  Persisted
+    under ``graph.meta["commcost"]`` next to the PR-5 alignment
+    calibration and in :class:`~repro.perfmodel.machine.MachineSpec`.
+    """
+
+    #: which comm backend the fit measured ("sim", "mp", "mpi")
+    backend: str
+    #: fitted per-message latency (seconds per logical message)
+    alpha: float
+    #: fitted inverse bandwidth (seconds per logical payload byte)
+    beta: float
+
+    def seconds(self, nmsgs: float, nbytes: float) -> float:
+        """Predicted wall seconds of moving ``nmsgs`` logical messages
+        totalling ``nbytes`` payload bytes."""
+        return nmsgs * self.alpha + nbytes * self.beta
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form (``graph.meta`` persistence)."""
+        return {
+            "backend": self.backend,
+            "alpha": self.alpha,
+            "beta": self.beta,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CommCostModel":
         """Inverse of :meth:`as_dict`."""
         return cls(**d)
 

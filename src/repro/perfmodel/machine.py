@@ -65,6 +65,12 @@ class MachineSpec:
     #: single-writer output throughput (bytes/s): the serial result
     #: gathering that caps MMseqs2-like scaling (Section VI-A)
     serial_output_bytes_per_sec: float
+    #: per-message latency (s/message) of the α–β comm model; the Cori
+    #: value is a literature-plausible constant, while
+    #: ``calibrate_local_machine`` overwrites it (and ``beta``) with the
+    #: coefficients :func:`repro.perfmodel.calibrate.calibrate_comm_model`
+    #: fits on this interpreter's own comm backend
+    comm_alpha: float = 2.0e-6
 
 
 CORI_HASWELL = MachineSpec(

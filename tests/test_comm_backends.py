@@ -290,6 +290,24 @@ class TestConformance:
         assert kinds.get("allgather") == 4 * 3
 
 
+class TestSmokeTraceParity:
+    """Satellite regression: the sim and mp transports must trace the
+    smoke pipeline *identically* — same (comm, op, kind) groups, same
+    message counts, same byte totals — or the static predictor's
+    ``--check`` gate means different things on different backends."""
+
+    def test_sim_and_mp_summaries_identical(self):
+        from repro.core.smoke import run_smoke
+
+        summaries = {}
+        for backend in ("sim", "mp"):
+            tracer = CommTracer()
+            run_smoke(4, tracer=tracer, comm_backend=backend)
+            summaries[backend] = tracer.summary()
+        assert summaries["sim"] == summaries["mp"]
+        assert summaries["sim"]["total_messages"] > 0
+
+
 class TestRegistry:
     def test_backend_knob_choices_cover_registry(self):
         assert set(available_backends()) <= set(COMM_BACKENDS)

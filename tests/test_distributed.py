@@ -255,11 +255,18 @@ class TestMeta:
     def test_tracer_records_traffic(self, data):
         cfg = PastisConfig(k=4, substitutes=0)
         tracer = CommTracer()
-        run_pastis_distributed(data.store, cfg, nranks=4, tracer=tracer)
+        g = run_pastis_distributed(data.store, cfg, nranks=4, tracer=tracer)
         assert tracer.total_messages > 0
         kinds = tracer.bytes_by_kind()
         assert "alltoall" in kinds  # matrix distribution
         assert "p2p" in kinds       # sequence exchange + transpose
+        # traced runs persist the α–β calibration and projected comm
+        # seconds next to the alignment calibration
+        cc = g.meta["commcost"]
+        assert cc["traced_messages"] == tracer.total_messages
+        assert cc["traced_bytes"] == tracer.total_bytes
+        assert cc["predicted_comm_seconds"] > 0
+        assert cc["calibration"]["backend"] == "sim"
 
 
 class TestCkThresholdParity:

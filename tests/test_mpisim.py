@@ -10,7 +10,7 @@ from repro.mpisim.grid import (
     is_perfect_square,
     nearest_square,
 )
-from repro.mpisim.tracing import CommTracer, payload_bytes
+from repro.mpisim.tracing import SUMMARY_SCHEMA, CommTracer, payload_bytes
 
 
 class TestPointToPoint:
@@ -430,6 +430,43 @@ class TestTracing:
         assert payload_bytes(np.zeros(10, dtype=np.int64)) >= 80
         assert payload_bytes(b"abcd") == 20
         assert payload_bytes({"a": 1}) > 0
+
+    def test_payload_bytes_counts_each_array_once(self):
+        """The same ndarray referenced twice in one payload crosses the
+        wire once — the sizer must charge its buffer exactly once."""
+        a = np.zeros(1000, dtype=np.float64)
+        single = payload_bytes(a)
+        aliased = payload_bytes((a, a))
+        distinct = payload_bytes((a, a.copy()))
+        assert single <= aliased < single + 256  # one buffer + envelope
+        assert distinct >= 2 * single
+
+    def test_summary_schema(self):
+        tracer = CommTracer()
+
+        def fn(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            sub.bcast(np.zeros(8), root=0)
+            comm.send(b"x", dest=(comm.rank + 1) % comm.size, kind="ring")
+            comm.recv(source=(comm.rank - 1) % comm.size)
+
+        run_spmd(4, fn, tracer=tracer)
+        doc = tracer.summary()
+        assert doc["schema"] == SUMMARY_SCHEMA
+        keys = [(g["comm"], g["op"], g["kind"]) for g in doc["groups"]]
+        assert keys == sorted(keys)
+        # the split fingerprint allgather, both colours' bcasts, and the
+        # ring sends each aggregate into their own (comm, op, kind) group
+        assert ("world", "allgather", "allgather") in keys
+        assert ("world/0.0", "bcast", "bcast") in keys
+        assert ("world/0.1", "bcast", "bcast") in keys
+        assert ("world", "send", "ring") in keys
+        assert doc["total_messages"] == sum(
+            g["messages"] for g in doc["groups"]
+        ) == tracer.total_messages
+        assert doc["total_bytes"] == sum(
+            g["bytes"] for g in doc["groups"]
+        ) == tracer.total_bytes
 
     def test_max_rank_volume(self):
         tracer = CommTracer()

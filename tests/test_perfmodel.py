@@ -14,8 +14,10 @@ from repro.perfmodel import (
     PAPER_DATASETS,
     SCALING_NODES,
     AlignmentCostModel,
+    CommCostModel,
     alignment_time,
     calibrate_alignment_model,
+    calibrate_comm_model,
     calibrate_local_machine,
     fig12_variants,
     fig13_tools,
@@ -329,3 +331,34 @@ class TestAlignmentCostModel:
 
     def test_memoised(self, model):
         assert calibrate_alignment_model(k=6) is model
+
+
+class TestCommCostModel:
+    """The calibrated α–β comm model: fitted from ping-pong/allgather
+    microbenchmarks, persisted in ``graph.meta["commcost"]`` and (via
+    ``calibrate_local_machine``) in :class:`MachineSpec`."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return calibrate_comm_model(backend="sim")
+
+    def test_coefficients_positive_and_finite(self, model):
+        assert model.backend == "sim"
+        assert math.isfinite(model.alpha) and model.alpha >= 0
+        assert math.isfinite(model.beta) and model.beta > 0
+
+    def test_seconds_linear_in_volume(self, model):
+        base = model.seconds(100, 1e6)
+        assert base > 0
+        assert model.seconds(200, 2e6) == pytest.approx(2 * base)
+
+    def test_meta_dict_roundtrip(self, model):
+        assert CommCostModel.from_dict(model.as_dict()) == model
+
+    def test_memoised(self, model):
+        assert calibrate_comm_model(backend="sim") is model
+
+    def test_local_machine_spec_carries_comm_fit(self, model):
+        spec = calibrate_local_machine()
+        assert spec.comm_alpha == model.alpha
+        assert spec.beta == model.beta
