@@ -7,7 +7,10 @@ overlap stage, and the ``(AS) Aᵀ`` CommonKmers shape of the struct
 expand-reduce path).  Two headline rows are asserted at ≥ 5×: plus-times
 on a 500×500, 1 % density pair (numeric vs hash) and the CommonKmers
 overlap stage (struct vs the object fallback); in practice both gaps are
-far larger.
+far larger.  A third gate covers the delegated scipy kernel: one
+``csr @ csr`` call must beat the numeric fast path ≥ 2× on the overlap
+shape (``TestScipyDelegationSpeedup``; self-skips when scipy is not
+installed, like every scipy-dependent workload here).
 
 Run with ``pytest benchmarks/bench_spgemm_fastpath.py -s`` to see the
 table, or directly as a script::
@@ -25,7 +28,15 @@ from __future__ import annotations
 import time
 
 import numpy as np
-import scipy.sparse as sp
+import pytest
+
+try:
+    import scipy.sparse as sp
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised on scipy-less installs
+    sp = None
+    HAVE_SCIPY = False
 
 from repro.core.semirings import (
     encode_seed_hits,
@@ -39,7 +50,15 @@ from repro.sparse.semiring import (
     MAX_TIMES,
     MIN_PLUS,
 )
-from repro.sparse.spgemm import spgemm_hash, spgemm_numeric, spgemm_struct
+from repro.sparse.spgemm import (
+    spgemm_hash,
+    spgemm_numeric,
+    spgemm_scipy,
+    spgemm_struct,
+)
+
+needs_scipy = pytest.mark.skipif(not HAVE_SCIPY,
+                                 reason="scipy not installed")
 
 
 def _random_csr(m, n, density, seed) -> CSRMatrix:
@@ -94,6 +113,7 @@ def _report(rows: list[tuple[str, float, float]]) -> None:
 
 
 class TestFastPathSpeedup:
+    @needs_scipy
     def test_plus_times_500x500_1pct(self):
         """Acceptance workload: ≥ 5× over the hash path."""
         a = _random_csr(500, 500, 0.01, 1)
@@ -110,6 +130,7 @@ class TestFastPathSpeedup:
             f"fast path only {t_hash / t_num:.1f}x faster"
         )
 
+    @needs_scipy
     def test_semiring_sweep_300x300(self):
         a = _random_csr(300, 300, 0.03, 3)
         b = _random_csr(300, 300, 0.03, 4)
@@ -135,6 +156,33 @@ class TestFastPathSpeedup:
         t_num = _best_of(lambda: spgemm_numeric(a, at, COUNTING))
         _report([("counting AAT 400 seqs x 5000 kmers", t_hash, t_num)])
         assert t_hash / t_num >= 1.5
+
+
+@needs_scipy
+class TestScipyDelegationSpeedup:
+    """Acceptance gate for the delegated-kernel PR: on the paper's
+    dominant overlap shape (``A Aᵀ`` over COUNTING, pattern-delegated as
+    one int64 ``csr @ csr``), handing the k-stage to scipy's C++
+    Gustavson kernel must be at least 2x faster than the in-repo numeric
+    fast path — while producing the bit-identical matrix."""
+
+    def test_counting_aat_delegation_2x(self):
+        a = _kmer_matrix(nseqs=3000, kmer_space=20_000, kmers_per_seq=100,
+                         seed=5)
+        at = a.transpose()
+        ref = spgemm_numeric(a, at, COUNTING).sort()
+        got = spgemm_scipy(a, at, COUNTING).sort()
+        assert got.vals.dtype == ref.vals.dtype
+        assert (got.rows == ref.rows).all()
+        assert (got.cols == ref.cols).all()
+        assert got.vals.tobytes() == ref.vals.tobytes()
+        t_num = _best_of(lambda: spgemm_numeric(a, at, COUNTING), repeat=3)
+        t_scipy = _best_of(lambda: spgemm_scipy(a, at, COUNTING), repeat=3)
+        _report([("counting AAT 3000 seqs scipy delegated", t_num,
+                  t_scipy)])
+        assert t_num / t_scipy >= 2.0, (
+            f"scipy delegation only {t_num / t_scipy:.2f}x over numeric"
+        )
 
 
 class TestStructPathSpeedup:
@@ -173,21 +221,21 @@ def _workloads(smoke: bool):
     scale = 0.4 if smoke else 1.0
     n500 = max(int(500 * scale), 50)
     n300 = max(int(300 * scale), 50)
-    a = _random_csr(n500, n500, 0.01, 1)
-    b = _random_csr(n500, n500, 0.01, 2)
-    out = {
-        f"plus_times_{n500}x{n500}_d0.01": (
+    out = {}
+    if HAVE_SCIPY:  # the random-density operand builder needs sp.random
+        a = _random_csr(n500, n500, 0.01, 1)
+        b = _random_csr(n500, n500, 0.01, 2)
+        out[f"plus_times_{n500}x{n500}_d0.01"] = (
             lambda: spgemm_hash(a, b, ARITHMETIC),
             lambda: spgemm_numeric(a, b, ARITHMETIC),
-        ),
-    }
-    for semiring in (MIN_PLUS, MAX_TIMES, COUNTING):
-        c = _random_csr(n300, n300, 0.03, 3)
-        d = _random_csr(n300, n300, 0.03, 4)
-        out[f"{semiring.name}_{n300}x{n300}_d0.03"] = (
-            lambda c=c, d=d, s=semiring: spgemm_hash(c, d, s),
-            lambda c=c, d=d, s=semiring: spgemm_numeric(c, d, s),
         )
+        for semiring in (MIN_PLUS, MAX_TIMES, COUNTING):
+            c = _random_csr(n300, n300, 0.03, 3)
+            d = _random_csr(n300, n300, 0.03, 4)
+            out[f"{semiring.name}_{n300}x{n300}_d0.03"] = (
+                lambda c=c, d=d, s=semiring: spgemm_hash(c, d, s),
+                lambda c=c, d=d, s=semiring: spgemm_numeric(c, d, s),
+            )
     ka = _kmer_matrix(max(int(400 * scale), 60), max(int(5000 * scale), 500),
                       30, seed=5)
     kat = ka.transpose()
@@ -195,6 +243,17 @@ def _workloads(smoke: bool):
         lambda: spgemm_hash(ka, kat, COUNTING),
         lambda: spgemm_numeric(ka, kat, COUNTING),
     )
+    if HAVE_SCIPY:
+        # the delegated-kernel row: "generic" is the in-repo numeric fast
+        # path, "fast" is the one-call scipy delegation (the CI gate in
+        # TestScipyDelegationSpeedup asserts >= 2x on the full-size shape)
+        dka = _kmer_matrix(max(int(1500 * scale), 100),
+                           max(int(10_000 * scale), 800), 60, seed=6)
+        dkat = dka.transpose()
+        out["counting_aat_scipy_delegation"] = (
+            lambda: spgemm_numeric(dka, dkat, COUNTING),
+            lambda: spgemm_scipy(dka, dkat, COUNTING),
+        )
     a_s, at = _as_operands(max(int(300 * scale), 60),
                            max(int(4000 * scale), 400), 25, seed=9)
     sr = substitute_overlap_encoded_semiring()

@@ -8,7 +8,7 @@ Usage::
 
     python -m repro input.fasta -o edges.tsv [--k 6] [--substitutes 25]
         [--align xd|sw] [--weight ani|ns] [--ck N] [--ranks 4]
-        [--kernel join|numeric|struct|semiring]
+        [--kernel join|numeric|struct|semiring|scipy|graphblas]
         [--align-engine batched|python]
         [--align-balance off|greedy|steal] [--steal-factor 1.5]
         [--cluster families.tsv]
@@ -79,13 +79,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="alignment threads per process (only applies to "
                    "--align-engine python; the batched engine vectorizes "
                    "across the batch instead)")
-    p.add_argument("--kernel", choices=KERNELS, default="join",
+    p.add_argument("--kernel", choices=KERNELS, default=None,
                    help="overlap kernel: NumPy join (default), numeric "
                    "SpGEMM fast path, struct expand-reduce (CommonKmers "
-                   "as record columns — what distributed SUMMA runs), or "
-                   "the generic semiring reference; with --ranks > 1 "
-                   "every kernel except 'semiring' selects the SUMMA "
-                   "struct path")
+                   "as record columns — what distributed SUMMA runs), "
+                   "the generic semiring reference, or a delegated "
+                   "backend ('scipy' / 'graphblas': spec-covered SpGEMM "
+                   "stages run as one external csr @ csr call; needs the "
+                   "package installed); with --ranks > 1 every kernel "
+                   "except 'semiring' selects the SUMMA struct path; "
+                   "byte-identical graphs either way (defaults to "
+                   "$REPRO_KERNEL or 'join')")
     p.add_argument("--align-engine", choices=ALIGN_ENGINES,
                    default="batched",
                    help="alignment engine: inter-pair batched wavefront "
@@ -146,6 +150,9 @@ def config_from_args(args: argparse.Namespace) -> PastisConfig:
     if args.comm_sanitize is not None:
         # same pattern: an absent flag defers to REPRO_COMM_SANITIZE
         extra["comm_sanitize"] = args.comm_sanitize
+    if args.kernel is not None:
+        # same pattern: an absent flag defers to REPRO_KERNEL
+        extra["kernel"] = args.kernel
     return PastisConfig(
         k=args.k,
         substitutes=args.substitutes,
@@ -156,7 +163,6 @@ def config_from_args(args: argparse.Namespace) -> PastisConfig:
         min_identity=args.min_identity,
         min_coverage=args.min_coverage,
         align_threads=args.threads,
-        kernel=args.kernel,
         align_engine=args.align_engine,
         align_balance=args.align_balance,
         steal_factor=args.steal_factor,

@@ -13,6 +13,11 @@ from dataclasses import dataclass, field
 
 from ..bio.scoring import BLOSUM62, ScoringMatrix
 from ..mpisim.backend import COMM_BACKENDS
+from ..sparse.kernels import (
+    DELEGATED_KERNELS,
+    kernel_available,
+    kernel_requirement,
+)
 
 __all__ = [
     "ALIGN_BALANCE_MODES",
@@ -21,18 +26,27 @@ __all__ = [
     "COMM_BACKENDS",
     "KERNELS",
     "WEIGHTS",
+    "ConfigError",
     "PastisConfig",
 ]
 
 #: valid values of the choice-valued knobs — the CLI builds its ``choices``
 #: from these and the CLI surface test round-trips every one of them
 #: (COMM_BACKENDS is re-exported from repro.mpisim.backend, its source of
-#: truth, so the registry and the knob can never drift)
+#: truth, so the registry and the knob can never drift; the delegated
+#: kernel names likewise come from repro.sparse.kernels)
 ALIGN_MODES = ("xd", "sw")
 WEIGHTS = ("ani", "ns")
-KERNELS = ("join", "numeric", "struct", "semiring")
+KERNELS = ("join", "numeric", "struct", "semiring") + DELEGATED_KERNELS
 ALIGN_ENGINES = ("batched", "python")
 ALIGN_BALANCE_MODES = ("off", "greedy", "steal")
+
+
+class ConfigError(ValueError):
+    """Invalid :class:`PastisConfig` combination, raised at construction
+    time — including a delegated kernel whose backing package is missing,
+    so the failure names the package up front instead of surfacing
+    mid-SUMMA."""
 
 
 def _default_comm_backend() -> str:
@@ -41,6 +55,13 @@ def _default_comm_backend() -> str:
     touching any call site (only the *config* default reads the variable;
     ``run_spmd``'s own default stays ``"sim"``)."""
     return os.environ.get("REPRO_COMM_BACKEND", "sim")
+
+
+def _default_kernel() -> str:
+    """``kernel``'s default honours ``REPRO_KERNEL`` (same pattern as
+    ``REPRO_COMM_BACKEND``), so CI can re-run the whole suite with a
+    delegated SpGEMM backend without touching any call site."""
+    return os.environ.get("REPRO_KERNEL", "join")
 
 
 def _default_comm_sanitize() -> bool:
@@ -78,11 +99,19 @@ class PastisConfig:
         join, the default), ``"numeric"`` (sparse-matrix formulation on the
         numeric SpGEMM fast path), ``"struct"`` (sparse-matrix formulation
         with ``CommonKmers`` as struct-of-arrays record columns — the
-        kernel the distributed SUMMA stage uses), or ``"semiring"``
-        (generic object semirings — the literal, slow reference).  All
-        produce identical output (a tested invariant).  The distributed
-        pipeline runs the struct formulation for every kernel except
-        ``"semiring"``, which forces the object reference path there too.
+        kernel the distributed SUMMA stage uses), ``"semiring"``
+        (generic object semirings — the literal, slow reference), or a
+        *delegated* backend — ``"scipy"`` / ``"graphblas"`` — that runs
+        every NumericSpec-covered SpGEMM stage as one external
+        ``csr @ csr`` call (validated here: a missing backing package
+        raises a :class:`ConfigError` naming it).  All produce identical
+        output (a tested invariant).  The distributed pipeline runs the
+        struct formulation for every kernel except ``"semiring"``, which
+        forces the object reference path there too; delegated kernels
+        additionally thread their backend into every SUMMA stage, where
+        it engages exactly when the stage's semiring declares a delegate
+        form.  The default honours the ``REPRO_KERNEL`` environment
+        variable so CI can matrix the suite over kernels.
     align_engine:
         Alignment-stage engine: ``"batched"`` (the default) packs each
         rank's candidate pairs into padded lanes and advances every DP row
@@ -161,7 +190,7 @@ class PastisConfig:
     min_coverage: float = 0.70
     max_seeds: int = 2
     align_threads: int = 1
-    kernel: str = "join"
+    kernel: str = field(default_factory=_default_kernel)
     align_engine: str = "batched"
     align_balance: str = "off"
     steal_factor: float = 1.5
@@ -173,8 +202,15 @@ class PastisConfig:
         if self.align_mode not in ALIGN_MODES:
             raise ValueError("align_mode must be 'xd' or 'sw'")
         if self.kernel not in KERNELS:
-            raise ValueError(
-                "kernel must be 'join', 'numeric', 'struct', or 'semiring'"
+            raise ConfigError(
+                f"kernel must be one of {', '.join(KERNELS)}"
+            )
+        if self.kernel in DELEGATED_KERNELS and not kernel_available(
+                self.kernel):
+            raise ConfigError(
+                f"kernel={self.kernel!r} delegates SpGEMM to the "
+                f"{kernel_requirement(self.kernel)} package, which is not "
+                f"installed (pip install {kernel_requirement(self.kernel)})"
             )
         if self.align_engine not in ALIGN_ENGINES:
             raise ValueError("align_engine must be 'batched' or 'python'")

@@ -48,6 +48,7 @@ from ..mpisim.backend import CommBackend, Request, run_spmd
 from ..mpisim.grid import ProcessGrid
 from ..mpisim.tracing import CommTracer
 from ..sparse.distmat import DistSparseMatrix
+from ..sparse.kernels import DELEGATED_KERNELS
 from ..sparse.summa import summa
 from .balance import (
     decode_tasks,
@@ -220,6 +221,12 @@ def pastis_rank(
     timings: dict[str, float] = {}
     grid = ProcessGrid.create(comm)
     reference = config.kernel == "semiring"
+    # delegated kernels ride along into every SUMMA stage; they engage
+    # only where the stage semiring declares a delegate form (the PASTIS
+    # positional semirings declare none, so the graph bytes cannot move)
+    delegate = (
+        config.kernel if config.kernel in DELEGATED_KERNELS else None
+    )
     as_semiring, overlap_semiring, exact_semiring = (
         _overlap_semirings(reference)
     )
@@ -289,11 +296,11 @@ def pastis_rank(
         # expand-reduce — CommonKmers as record columns, no per-element
         # Python.  kernel="semiring" swaps in the object reference.
         t0 = time.perf_counter()
-        a_s = summa(a, s, as_semiring)
+        a_s = summa(a, s, as_semiring, kernel=delegate)
         timings["AS"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        b = summa(a_s, at, overlap_semiring)
+        b = summa(a_s, at, overlap_semiring, kernel=delegate)
         timings["(AS)AT"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -308,7 +315,7 @@ def pastis_rank(
         t0 = time.perf_counter()
         if not reference and not _ck_packable(comm, pos):
             _, _, exact_semiring = _overlap_semirings(True)
-        b = summa(a, at, exact_semiring)
+        b = summa(a, at, exact_semiring, kernel=delegate)
         timings["(AS)AT"] = time.perf_counter() - t0
         timings["sym."] = 0.0
 

@@ -109,6 +109,12 @@ def pastis_pipeline(
         "numeric": find_candidate_pairs_numeric,
         "struct": find_candidate_pairs_struct,
         "semiring": find_candidate_pairs_semiring,
+        # the delegated kernels only accelerate semirings declaring a
+        # delegate form; the positional PASTIS semirings declare none, so
+        # the single-process pipeline runs the struct formulation — same
+        # bytes, and the delegation threading lives in the SUMMA stages
+        "scipy": find_candidate_pairs_struct,
+        "graphblas": find_candidate_pairs_struct,
     }[config.kernel]
     pairs = overlap_impl(store, config)
     pairs_before_ck = pairs.npairs

@@ -23,10 +23,24 @@ from .semiring import (
     NumericSpec,
     Semiring,
 )
+from .kernels import (
+    DELEGATED_KERNELS,
+    KernelSpec,
+    available_kernels,
+    get_kernel,
+    kernel_available,
+    kernel_requirement,
+    register_kernel,
+    registered_kernels,
+    unregister_kernel,
+)
 from .spgemm import (
+    delegation_covers,
     spgemm,
+    spgemm_batched,
     spgemm_coo,
     spgemm_expand,
+    spgemm_graphblas,
     spgemm_hash,
     spgemm_heap,
     spgemm_numeric,
@@ -35,6 +49,15 @@ from .spgemm import (
 from .summa import summa
 
 __all__ = [
+    "DELEGATED_KERNELS",
+    "KernelSpec",
+    "available_kernels",
+    "get_kernel",
+    "kernel_available",
+    "kernel_requirement",
+    "register_kernel",
+    "registered_kernels",
+    "unregister_kernel",
     "COOMatrix",
     "CSRMatrix",
     "DCSCMatrix",
@@ -53,9 +76,12 @@ __all__ = [
     "MIN_PLUS",
     "NumericSpec",
     "Semiring",
+    "delegation_covers",
     "spgemm",
+    "spgemm_batched",
     "spgemm_coo",
     "spgemm_expand",
+    "spgemm_graphblas",
     "spgemm_hash",
     "spgemm_heap",
     "spgemm_numeric",

@@ -16,15 +16,27 @@ vectorized numeric fast path:
   :class:`~repro.sparse.semiring.StructSpec` (multi-column record values,
   e.g. PASTIS's ``CommonKmers``): vectorized partial-product expansion,
   then a block-local NumPy group-reduce into struct-of-arrays columns.
-* :func:`spgemm` — the dispatcher: numeric fast path when the semiring and
-  the value dtypes permit, then the struct path, else hash/heap chosen per
-  the expected work per row (CombBLAS-style).
+* :func:`spgemm_batched` — the batched generic merge for object semirings
+  that declare no (engaging) spec: the numeric kernel's whole-array
+  expansion and group sort, with the two scalar semiring operators applied
+  as ``np.frompyfunc`` batch calls — one call per fold layer instead of
+  one Python dispatch per element.
+* :func:`spgemm_scipy` / :func:`spgemm_graphblas` — *delegated* kernels for
+  semirings whose :class:`~repro.sparse.semiring.NumericSpec` declares a
+  ``delegate`` form: the whole product runs as one external ``csr @ csr``
+  call (scipy's C++ Gustavson kernel, or SuiteSparse:GraphBLAS ``mxm``),
+  zero-copy in and out of this module's CSR arrays.
+* :func:`spgemm` — the dispatcher: an explicitly requested delegated
+  kernel when its coverage predicate allows, then the numeric fast path,
+  then the struct path, else the batched generic merge.
 
 All variants are generic over :class:`~repro.sparse.semiring.Semiring` and
 return a duplicate-free :class:`~repro.sparse.coo.COOMatrix`.  Every
 formulation folds the partial products of one output coordinate in the same
 deterministic order (ascending inner index ``k``), so their results are
-identical — bitwise, even for floating-point values.
+identical — bitwise, even for floating-point values (scipy's SMMP kernel
+walks each A-row's stored entries in ascending-``k`` order too, which is
+why delegation can promise bitwise identity rather than mere closeness).
 """
 
 from __future__ import annotations
@@ -44,15 +56,15 @@ __all__ = [
     "spgemm_heap",
     "spgemm_numeric",
     "spgemm_struct",
+    "spgemm_batched",
     "spgemm_expand",
     "spgemm_scipy",
+    "spgemm_graphblas",
     "spgemm_coo",
     "join_cartesian",
     "result_dtype",
+    "delegation_covers",
 ]
-
-#: Average partial products per row above which the hash strategy is used.
-_HYBRID_THRESHOLD = 4
 
 
 def _check_dims(a: CSRMatrix, b: CSRMatrix) -> None:
@@ -362,35 +374,135 @@ def _spgemm_coo_struct(
     return _accumulate_struct(a.nrows, b.ncols, rows, cols, records, spec)
 
 
-def spgemm(
+# ---------------------------------------------------------------------------
+# batched generic merge (object semirings without an engaging spec)
+# ---------------------------------------------------------------------------
+
+
+def _boxed(arr: np.ndarray) -> np.ndarray:
+    """The same values as a ``dtype=object`` array of NumPy scalars.
+
+    ``astype(object)`` would demote typed elements to *Python* scalars
+    (changing e.g. int64 overflow semantics), whereas the hash/heap
+    reference kernels see NumPy scalars when they index a typed array —
+    iterating the array (``list``) preserves exactly those.
+    """
+    if arr.dtype == object:
+        return arr
+    out = np.empty(len(arr), dtype=object)
+    out[:] = list(arr)
+    return out
+
+
+def _accumulate_generic(
+    nrows: int,
+    ncols: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    add,
+) -> COOMatrix:
+    """Group an object-valued partial-product stream by output coordinate
+    and fold each group with the scalar ``add`` — batched: one vectorized
+    ``frompyfunc`` call per fold *layer* instead of one Python-level
+    dispatch per element.  The group sort is stable, so the layered fold
+    is the same left fold in stream order the hash/heap kernels perform.
+    """
+    add_u = np.frompyfunc(add, 2, 1)
+    order, starts, sizes, out_rows, out_cols = group_coords(
+        nrows, ncols, rows, cols
+    )
+    svals = vals[order]
+    acc = svals[starts].copy()
+    # spmd: hot-loop-ok (layered fold: iterations bounded by the largest
+    # duplicate group, each one a whole-array frompyfunc call)
+    for s in range(1, int(sizes.max())):
+        has = sizes > s
+        acc[has] = add_u(acc[has], svals[starts[has] + s])
+    return COOMatrix(nrows, ncols, out_rows, out_cols, acc)
+
+
+def spgemm_batched(
     a: CSRMatrix, b: CSRMatrix, semiring: Semiring = ARITHMETIC
 ) -> COOMatrix:
-    """Dispatcher: the numeric fast path when the semiring declares one and
-    the value dtypes permit, then the struct expand-reduce path; otherwise
-    hash for dense-ish accumulations, heap for very sparse rows, decided by
-    the expected partial products per row (CombBLAS-style)."""
+    """Batched generic SpGEMM — the vectorized replacement for the
+    per-element hash/heap merge when an object semiring declares no
+    (engaging) numeric or struct spec.
+
+    Expansion and coordinate grouping run the same whole-array machinery
+    as the numeric kernel (:func:`spgemm_expand` plus the fused-key group
+    sort); only the two scalar semiring operators execute Python code, as
+    ``np.frompyfunc`` batch calls.  Operand values are boxed as NumPy
+    scalars first, so the arithmetic (overflow semantics included) is
+    exactly what :func:`spgemm_hash` computes — results are identical.
+    """
     _check_dims(a, b)
+    rows, cols, a_vals, b_vals = spgemm_expand(a, b)
+    if len(rows) == 0:
+        return COOMatrix(a.nrows, b.ncols, rows, cols,
+                         np.empty(0, dtype=object))
+    mul_u = np.frompyfunc(semiring.multiply, 2, 1)
+    vals = mul_u(_boxed(a_vals), _boxed(b_vals))
+    return _accumulate_generic(a.nrows, b.ncols, rows, cols, vals,
+                               semiring.add)
+
+
+def _spgemm_coo_batched(
+    a: COOMatrix, b: COOMatrix, semiring: Semiring
+) -> COOMatrix:
+    """Batched sort-merge-join SpGEMM on COO operands for generic (object)
+    semirings: the numeric path's :func:`join_cartesian` expansion with the
+    scalar operators as ``frompyfunc`` batch calls (see
+    :func:`spgemm_batched`).  Handles duplicate operand coordinates the
+    same way the scalar merge did — one partial product per occurrence
+    pair, folded in stream order."""
+    a_order = np.argsort(a.cols, kind="stable")
+    b_order = np.argsort(b.rows, kind="stable")
+    li, ri = join_cartesian(a.cols[a_order], b.rows[b_order])
+    if len(li) == 0:
+        return COOMatrix(a.nrows, b.ncols, li, li.copy(),
+                         np.empty(0, dtype=object))
+    rows = a.rows[a_order][li]
+    cols = b.cols[b_order][ri]
+    mul_u = np.frompyfunc(semiring.multiply, 2, 1)
+    vals = mul_u(_boxed(a.vals[a_order][li]), _boxed(b.vals[b_order][ri]))
+    return _accumulate_generic(a.nrows, b.ncols, rows, cols, vals,
+                               semiring.add)
+
+
+def spgemm(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    semiring: Semiring = ARITHMETIC,
+    kernel: str | None = None,
+) -> COOMatrix:
+    """Dispatcher: an explicitly requested delegated kernel
+    (``kernel="scipy"`` / ``"graphblas"``) when :func:`delegation_covers`
+    allows, then the numeric fast path when the semiring declares one and
+    the value dtypes permit, then the struct expand-reduce path; otherwise
+    the batched generic merge (:func:`spgemm_batched`).  Fallback never
+    changes results — every path folds in the same order."""
+    _check_dims(a, b)
+    if kernel is not None and kernel not in _DELEGATES:
+        raise ValueError(
+            f"unknown delegated kernel {kernel!r}; expected one of "
+            f"{', '.join(_DELEGATES)}"
+        )
     if a.nrows == 0 or a.nnz == 0 or b.nnz == 0:
         return COOMatrix.empty(
             a.nrows, b.ncols,
             dtype=result_dtype(semiring, a.data.dtype, b.data.dtype),
         )
+    if kernel is not None and delegation_covers(
+            semiring, a.data.dtype, b.data.dtype, kernel=kernel):
+        return _DELEGATES[kernel](a, b, semiring)
     spec = semiring.numeric
     if spec is not None and spec.compatible(a.data.dtype, b.data.dtype):
         return spgemm_numeric(a, b, semiring)
     sspec = semiring.struct
     if sspec is not None and sspec.engages(a.data, b.data):
         return spgemm_struct(a, b, semiring)
-    flops = _estimate_flops(a, b)
-    if flops / max(a.nrows, 1) >= _HYBRID_THRESHOLD:
-        return spgemm_hash(a, b, semiring)
-    return spgemm_heap(a, b, semiring)
-
-
-def _estimate_flops(a: CSRMatrix, b: CSRMatrix) -> int:
-    """Number of partial products ``sum_k nnz(A[:,k]) * nnz(B[k,:])``."""
-    b_row_nnz = b.row_nnz()
-    return int(b_row_nnz[a.indices].sum())
+    return spgemm_batched(a, b, semiring)
 
 
 def _spgemm_coo_numeric(
@@ -412,7 +524,10 @@ def _spgemm_coo_numeric(
 
 
 def spgemm_coo(
-    a: COOMatrix, b: COOMatrix, semiring: Semiring = ARITHMETIC
+    a: COOMatrix,
+    b: COOMatrix,
+    semiring: Semiring = ARITHMETIC,
+    kernel: str | None = None,
 ) -> COOMatrix:
     """Merge-join SpGEMM directly on COO operands.
 
@@ -421,72 +536,249 @@ def spgemm_coo(
     dimension is the 24^k k-mer space (the situation DCSC exists for).  Used
     by the distributed SUMMA stages.  Dispatches to a fully vectorized join
     when the semiring's numeric or struct spec covers the operand value
-    dtypes.
+    dtypes, and to the batched generic merge otherwise.
+
+    ``kernel`` optionally names a delegated backend (``"scipy"`` /
+    ``"graphblas"``): when :func:`delegation_covers` allows and both blocks
+    are duplicate-free and dense enough for a dimension-proportional CSR
+    ``indptr`` to be affordable, the product runs as one external
+    ``csr @ csr`` call; every other case falls back to the in-repo join, so
+    the result is byte-identical either way.
     """
     if a.ncols != b.nrows:
         raise ValueError(f"dimension mismatch: {a.shape} x {b.shape}")
+    if kernel is not None and kernel not in _DELEGATES:
+        raise ValueError(
+            f"unknown delegated kernel {kernel!r}; expected one of "
+            f"{', '.join(_DELEGATES)}"
+        )
     if a.nnz == 0 or b.nnz == 0:
         return COOMatrix.empty(
             a.nrows, b.ncols,
             dtype=result_dtype(semiring, a.vals.dtype, b.vals.dtype),
         )
+    if kernel is not None and delegation_covers(
+            semiring, a.vals.dtype, b.vals.dtype, kernel=kernel):
+        ca = _dup_free_csr(a)
+        cb = _dup_free_csr(b) if ca is not None else None
+        if ca is not None and cb is not None:
+            return _DELEGATES[kernel](ca, cb, semiring)
     spec = semiring.numeric
     if spec is not None and spec.compatible(a.vals.dtype, b.vals.dtype):
         return _spgemm_coo_numeric(a, b, semiring)
     sspec = semiring.struct
     if sspec is not None and sspec.engages(a.vals, b.vals):
         return _spgemm_coo_struct(a, b, semiring)
-    # Sort A entries by inner index (its columns), B entries by inner index
-    # (its rows); join the two sorted key streams.
-    a_order = np.argsort(a.cols, kind="stable")
-    b_order = np.argsort(b.rows, kind="stable")
-    a_keys = a.cols[a_order]
-    b_keys = b.rows[b_order]
-    add, mul = semiring.add, semiring.multiply
-
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[Any] = []
-    ai = bi = 0
-    na, nb = len(a_keys), len(b_keys)
-    # spmd: hot-loop-ok (generic-semiring fallback join; the numeric and
-    # struct fast paths dispatched above never reach these loops)
-    while ai < na and bi < nb:
-        ka, kb = a_keys[ai], b_keys[bi]
-        if ka < kb:
-            ai += 1
-            continue
-        if kb < ka:
-            bi += 1
-            continue
-        a_end = ai
-        while a_end < na and a_keys[a_end] == ka:
-            a_end += 1
-        b_end = bi
-        while b_end < nb and b_keys[b_end] == ka:
-            b_end += 1
-        for x in range(ai, a_end):
-            ea = a_order[x]
-            av = a.vals[ea]
-            r = int(a.rows[ea])
-            for y in range(bi, b_end):
-                eb = b_order[y]
-                rows.append(r)
-                cols.append(int(b.cols[eb]))
-                vals.append(mul(av, b.vals[eb]))
-        ai, bi = a_end, b_end
-    out_vals = np.empty(len(vals), dtype=object)
-    for i, v in enumerate(vals):  # spmd: hot-loop-ok (object boxing)
-        out_vals[i] = v
-    raw = COOMatrix(a.nrows, b.ncols, rows or np.empty(0, dtype=np.int64),
-                    cols or np.empty(0, dtype=np.int64), out_vals)
-    return raw.sum_duplicates(add) if raw.nnz else raw
+    return _spgemm_coo_batched(a, b, semiring)
 
 
-def spgemm_scipy(a: CSRMatrix, b: CSRMatrix) -> COOMatrix:
-    """Fast path for the arithmetic semiring via scipy (numeric values)."""
+# ---------------------------------------------------------------------------
+# delegated kernels (external csr @ csr backends)
+# ---------------------------------------------------------------------------
+
+#: Product dtypes for which an external kernel's native arithmetic equals
+#: the numeric kernel's ``reduceat`` arithmetic.  Two failure modes are
+#: excluded: dtypes the external kernel would silently upcast (float16 →
+#: float32), and sub-64-bit integers — ``np.add.reduceat`` accumulates
+#: those in int64/uint64 (NumPy's default integer accumulator) while the
+#: external kernel would sum natively, so dtype and overflow behaviour
+#: would both diverge.
+_DELEGATE_NATIVE_DTYPES = frozenset(
+    np.dtype(t) for t in (np.int64, np.uint64, np.float32, np.float64)
+)
+
+#: A COO block only converts to CSR for delegation when
+#: ``nrows <= max(64, ratio * nnz)`` — beyond that the block is
+#: hypersparse (k-mer-space inner dimension territory) and the
+#: dimension-proportional ``indptr`` the conversion needs would dwarf the
+#: nonzeros, breaking :func:`spgemm_coo`'s allocation guarantee.
+_DELEGATE_HYPERSPARSE_RATIO = 16
+
+
+def delegation_covers(
+    semiring: Semiring, a_dtype, b_dtype, kernel: str = "scipy"
+) -> bool:
+    """Whether a delegated kernel may run this (semiring, dtypes) product
+    with a bitwise-identical result.
+
+    Requires a :class:`~repro.sparse.semiring.NumericSpec` declaring a
+    ``delegate`` form and compatible operand dtypes.  ``"pattern"``
+    products never read the stored values, so any compatible dtypes do;
+    ``"plus_times"`` additionally demands that the external kernel
+    computes natively in ``np.result_type(a, b)`` (no silent upcast), and
+    graphblas refuses float folds outright — SuiteSparse does not pin the
+    accumulation order, and closeness is not identity.
+    """
+    if kernel not in _DELEGATES:
+        return False
+    spec = semiring.numeric
+    if spec is None or spec.delegate is None:
+        return False
+    if not spec.compatible(a_dtype, b_dtype):
+        return False
+    if spec.delegate == "pattern":
+        return True
+    da, db = np.dtype(a_dtype), np.dtype(b_dtype)
+    if da == object or db == object:
+        return False
+    out = np.result_type(da, db)
+    if out not in _DELEGATE_NATIVE_DTYPES:
+        return False
+    if kernel == "graphblas" and out.kind == "f":
+        return False
+    return True
+
+
+def _dup_free_csr(m: COOMatrix) -> CSRMatrix | None:
+    """The CSR form of a COO block, or ``None`` when delegation must fall
+    back: the block holds duplicate coordinates (CSR cannot represent
+    them, and pre-folding would change pattern/bitwise semantics) or is
+    too hypersparse for a dimension-proportional ``indptr``."""
+    if m.nrows > max(64, _DELEGATE_HYPERSPARSE_RATIO * m.nnz):
+        return None
+    order = np.lexsort((m.cols, m.rows))
+    r = m.rows[order]
+    c = m.cols[order]
+    if len(r) > 1 and bool(np.any((r[1:] == r[:-1]) & (c[1:] == c[:-1]))):
+        return None
+    indptr = np.zeros(m.nrows + 1, dtype=np.int64)
+    np.add.at(indptr, r + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSRMatrix(m.nrows, m.ncols, indptr, c, m.vals[order])
+
+
+def _delegate_operands(
+    a: CSRMatrix, b: CSRMatrix, semiring: Semiring, kernel: str
+):
+    """Validate a delegated call and return ``(spec, a_data, b_data)`` —
+    the value arrays the external kernel should multiply (``pattern``
+    substitutes int64 ones, so the product *counts* matching pairs)."""
     _check_dims(a, b)
-    c = a.to_coo().to_scipy() @ b.to_coo().to_scipy()
-    c.sum_duplicates()
-    c.eliminate_zeros()
-    return COOMatrix.from_scipy(c)
+    spec = semiring.numeric
+    if spec is None or spec.delegate is None:
+        raise TypeError(
+            f"semiring {semiring.name!r} declares no delegate form"
+        )
+    if not delegation_covers(semiring, a.data.dtype, b.data.dtype,
+                             kernel=kernel):
+        raise TypeError(
+            f"value dtypes ({a.data.dtype}, {b.data.dtype}) are not "
+            f"delegable to {kernel!r} under the {semiring.name!r} numeric "
+            f"spec (callers wanting automatic fallback should use spgemm)"
+        )
+    if spec.delegate == "pattern":
+        return spec, np.ones(a.nnz, dtype=spec.dtype), \
+            np.ones(b.nnz, dtype=spec.dtype)
+    return spec, a.data, b.data
+
+
+def _scipy_matmat_exact(sa, sb, sp):
+    """``sa @ sb`` when scipy's answer is exactly the numeric kernel's,
+    else ``None``.
+
+    scipy >= 1.15 prunes zero-valued sums from its matmat output, but this
+    module's invariant is that a fold's result is a result even when it is
+    the additive identity.  Strictly positive operands cannot cancel, so
+    their product is returned as-is (the pattern-delegation path, whose
+    data is all ones, always lands here).  Otherwise an int64 all-ones
+    pattern product (whose sums are occurrence counts, never prunable)
+    recovers the true intersection size: if nothing was pruned the values
+    are scipy's folds verbatim — bitwise equal to ours, scipy accumulating
+    in the same ascending-``k`` order.  If entries *were* pruned the
+    caller must fall back to the in-repo kernel: the pruned fold results
+    are IEEE signed zeros whose sign (``-0.0`` when every partial product
+    is ``-0.0``) the pattern product cannot reconstruct.
+    """
+    c = sa @ sb
+    c.sort_indices()  # scipy's matmat emits unsorted column indices
+    if bool((sa.data > 0).all()) and bool((sb.data > 0).all()):
+        return c
+    pa = sp.csr_matrix(
+        (np.ones(sa.nnz, dtype=np.int64), sa.indices, sa.indptr),
+        shape=sa.shape,
+    )
+    pb = sp.csr_matrix(
+        (np.ones(sb.nnz, dtype=np.int64), sb.indices, sb.indptr),
+        shape=sb.shape,
+    )
+    if (pa @ pb).nnz == c.nnz:
+        return c
+    return None
+
+
+def spgemm_scipy(
+    a: CSRMatrix, b: CSRMatrix, semiring: Semiring = ARITHMETIC
+) -> COOMatrix:
+    """Delegated SpGEMM: one ``csr @ csr`` call into scipy's C++ Gustavson
+    kernel, zero-copy in and out of this module's CSR arrays.
+
+    Engages only for numeric specs declaring a ``delegate`` form
+    (``"plus_times"``: scipy multiplies the stored values directly;
+    ``"pattern"``: the values are replaced by int64 ones so the product
+    counts matching pairs — COUNTING).  scipy accumulates each output
+    coordinate as a left fold in ascending inner index ``k``, the same
+    order as :func:`spgemm_numeric`, so results are *bitwise* identical —
+    and when scipy's zero-sum pruning makes that unattainable (explicit
+    cancellation zeros, which the in-repo kernels keep stored), the whole
+    product runs on :func:`spgemm_numeric` instead, detected via
+    :func:`_scipy_matmat_exact`.  A product with no intersection pattern
+    returns the numeric kernel's canonical empty (the spec dtype, no
+    coordinates, sorted).  Raises :class:`TypeError` when the semiring or
+    operand dtypes are not delegable (callers wanting automatic fallback
+    should pass ``kernel="scipy"`` to :func:`spgemm` /
+    :func:`spgemm_coo`).
+    """
+    spec, a_data, b_data = _delegate_operands(a, b, semiring, "scipy")
+    import scipy.sparse as sp
+
+    sa = sp.csr_matrix((a_data, a.indices, a.indptr), shape=a.shape)
+    sb = sp.csr_matrix((b_data, b.indices, b.indptr), shape=b.shape)
+    c = _scipy_matmat_exact(sa, sb, sp)
+    if c is None:  # scipy pruned cancellation zeros we must keep stored
+        return spgemm_numeric(a, b, semiring)
+    if c.nnz == 0:
+        return COOMatrix.empty(a.nrows, b.ncols, dtype=spec.dtype)
+    out_rows = np.repeat(np.arange(c.shape[0], dtype=np.int64),
+                         np.diff(c.indptr))
+    return COOMatrix(a.nrows, b.ncols, out_rows,
+                     np.asarray(c.indices, dtype=np.int64), c.data)
+
+
+def spgemm_graphblas(
+    a: CSRMatrix, b: CSRMatrix, semiring: Semiring = ARITHMETIC
+) -> COOMatrix:
+    """Delegated SpGEMM via python-graphblas (SuiteSparse:GraphBLAS).
+
+    Same delegation contract as :func:`spgemm_scipy`, but restricted to
+    ``pattern`` and *integer* ``plus_times`` products: SuiteSparse does
+    not pin the floating-point accumulation order, and this repo's
+    conformance sweep demands bitwise identity, not closeness.
+    Import-guarded — raises :class:`ImportError` when python-graphblas is
+    not installed; config validation surfaces that as a ``ConfigError``
+    before any SUMMA stage runs.
+    """
+    spec, a_data, b_data = _delegate_operands(a, b, semiring, "graphblas")
+    import graphblas as gb
+
+    op = gb.semiring.plus_pair if spec.delegate == "pattern" \
+        else gb.semiring.plus_times
+    ga = gb.Matrix.from_csr(a.indptr, a.indices, a_data, ncols=a.ncols)
+    gbm = gb.Matrix.from_csr(b.indptr, b.indices, b_data, ncols=b.ncols)
+    gc = op(ga @ gbm).new()
+    rows, cols, vals = gc.to_coo()
+    if len(rows) == 0:
+        return COOMatrix.empty(a.nrows, b.ncols, dtype=spec.dtype)
+    out = COOMatrix(
+        a.nrows, b.ncols,
+        np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64),
+        # the operand-derived product dtype, exactly as the numeric
+        # kernel's vectorized multiply would produce it
+        np.asarray(vals, dtype=np.result_type(a_data.dtype, b_data.dtype)),
+    )
+    return out.sort()
+
+
+#: Delegated kernel name -> CSR-level kernel.  Looked up at call time so
+#: tests can substitute counting or raising doubles to prove when
+#: delegation does (and does not) engage.
+_DELEGATES = {"scipy": spgemm_scipy, "graphblas": spgemm_graphblas}

@@ -16,9 +16,21 @@ from repro.core.config import (
     COMM_BACKENDS,
     KERNELS,
     WEIGHTS,
+    ConfigError,
     PastisConfig,
 )
 from repro.core.graph import SimilarityGraph
+from repro.sparse.kernels import DELEGATED_KERNELS, kernel_available
+
+
+def _kernel_choice_unavailable(field: str, choice: str) -> bool:
+    """Whether this knob choice is a delegated SpGEMM kernel whose backing
+    package is not installed (config rejects it with ConfigError)."""
+    return (
+        field == "kernel"
+        and choice in DELEGATED_KERNELS
+        and not kernel_available(choice)
+    )
 
 
 @pytest.fixture
@@ -102,6 +114,12 @@ class TestCliSurface:
             args = build_parser().parse_args(
                 ["in.fa", "-o", "o.tsv", flag, choice]
             )
+            if _kernel_choice_unavailable(field, choice):
+                # the parser accepts the choice; the config then names the
+                # missing package instead of failing deep in the pipeline
+                with pytest.raises(ConfigError, match=choice):
+                    config_from_args(args)
+                continue
             config = config_from_args(args)
             assert getattr(config, field) == choice
 
@@ -114,6 +132,10 @@ class TestCliSurface:
             dest = flag.lstrip("-").replace("-", "_")
             assert tuple(by_dest[dest].choices) == choices
             for choice in choices:  # config accepts every parser choice
+                if _kernel_choice_unavailable(field, choice):
+                    with pytest.raises(ConfigError, match=choice):
+                        PastisConfig(**{field: choice})
+                    continue
                 PastisConfig(**{field: choice})
 
     def test_numeric_knobs_roundtrip(self):
@@ -204,6 +226,26 @@ class TestMain:
         assert config_from_args(args).comm_backend == "sim"
         monkeypatch.setenv("REPRO_COMM_BACKEND", "bogus")
         with pytest.raises(ValueError, match="comm_backend"):
+            config_from_args(build_parser().parse_args(
+                ["in.fa", "-o", "o.tsv"]
+            ))
+
+    def test_kernel_env_default(self, monkeypatch):
+        """REPRO_KERNEL steers the config default (the CI matrix hook for
+        the delegated-kernel job), and an explicit flag still wins."""
+        monkeypatch.setenv("REPRO_KERNEL", "struct")
+        args = build_parser().parse_args(["in.fa", "-o", "o.tsv"])
+        assert config_from_args(args).kernel == "struct"
+        args = build_parser().parse_args(
+            ["in.fa", "-o", "o.tsv", "--kernel", "join"]
+        )
+        assert config_from_args(args).kernel == "join"
+        if kernel_available("scipy"):
+            monkeypatch.setenv("REPRO_KERNEL", "scipy")
+            args = build_parser().parse_args(["in.fa", "-o", "o.tsv"])
+            assert config_from_args(args).kernel == "scipy"
+        monkeypatch.setenv("REPRO_KERNEL", "bogus")
+        with pytest.raises(ConfigError, match="kernel"):
             config_from_args(build_parser().parse_args(
                 ["in.fa", "-o", "o.tsv"]
             ))
